@@ -1,0 +1,94 @@
+"""Supervised online adaptation under plant drift.
+
+A long-running application's characteristics change — the request mix
+shifts, the database grows — and the once-identified ARX model goes
+stale.  This example compares the paper's static controller with the
+supervised adaptive controller (shadow RLS + model supervision) while
+the plant's per-request CPU demands grow 75% mid-run.
+
+The takeaway has two halves:
+
+* the static controller *also* survives (offset-free feedback absorbs
+  most drift — reassuring for the paper's design);
+* the adaptive controller additionally repairs its gain estimate, and
+  its supervisor guarantees it never does worse than the static one —
+  naive closed-loop RLS without supervision, by contrast, can talk a
+  controller into instability.
+
+Run:  python examples/adaptive_control.py
+"""
+
+import numpy as np
+
+from repro.apps import AppSpec, MultiTierApp
+from repro.core.controller import (
+    AdaptiveResponseTimeController,
+    ControllerConfig,
+    ResponseTimeController,
+)
+from repro.sysid import fit_arx, run_identification_experiment
+from repro.util.tables import format_table
+
+PERIOD_S = 15.0
+DRIFT_AT = 40
+PERIODS = 110
+
+
+def drifted_plant(alloc, seed):
+    """The same app after 'software aging': demands up 75%."""
+    spec = AppSpec.rubbos(web_demand_ghz_s=0.035, db_demand_ghz_s=0.026)
+    plant = MultiTierApp(spec, alloc, concurrency=40, rng=seed)
+    plant.warmup(90.0)
+    return plant
+
+
+def closed_loop(ctrl, seed):
+    plant = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=40, rng=seed)
+    plant.warmup(90.0)
+    rts = []
+    for k in range(PERIODS):
+        if k == DRIFT_AT:
+            plant = drifted_plant(plant.allocations_ghz, seed + 1)
+        stats = plant.run_period(PERIOD_S)
+        alloc = ctrl.update(stats.rt_p90_ms, used_ghz=plant.used_ghz(PERIOD_S))
+        plant.set_allocations(alloc)
+        rts.append(stats.rt_p90_ms)
+    return np.asarray(rts)
+
+
+def main() -> None:
+    print("identifying the nominal plant (the model both controllers share)...")
+    ident = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=40, rng=11)
+    data = run_identification_experiment(
+        ident, n_periods=180, period_s=PERIOD_S,
+        alloc_lower=[0.45, 0.45], alloc_upper=[0.9, 0.9], rng=12,
+    )
+    model = fit_arx(data.t, data.c).model
+
+    rows = []
+    for label, cls in [("static (paper)", ResponseTimeController),
+                       ("adaptive (supervised RLS)", AdaptiveResponseTimeController)]:
+        ctrl = cls(model, ControllerConfig(), c_min=[0.2, 0.2], c_max=[3.0, 3.0],
+                   initial_alloc_ghz=[1.0, 1.0])
+        rts = closed_loop(ctrl, seed=31)
+        pre = rts[20:DRIFT_AT]
+        post = rts[DRIFT_AT + 20:]
+        extra = ""
+        if isinstance(ctrl, AdaptiveResponseTimeController):
+            extra = (f"{ctrl.rls_samples} clean RLS samples, candidate used "
+                     f"{ctrl.candidate_periods} periods")
+        rows.append([
+            label,
+            float(np.nanmean(pre)), float(np.nanstd(pre)),
+            float(np.nanmean(post)), float(np.nanstd(post)),
+            extra,
+        ])
+    print(format_table(
+        ["controller", "rt pre-drift", "std", "rt post-drift", "std", "adaptation"],
+        rows,
+        title="Tracking a 1000 ms set point through a 75% demand drift at t=600 s",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Application substrate: queueing models and a RUBBoS-like web app.
+
+The paper's testbed ran RUBBoS, a two-tier PHP bulletin board (Apache web
+tier + MySQL tier), driven by ``ab`` at a fixed concurrency level.  We do
+not have the testbed, so this package provides the closest synthetic
+equivalent (DESIGN.md §5): a request-level closed queueing network whose
+tier speeds are the GHz allocations the controller actuates.
+"""
+
+from repro.apps.demand import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    DemandDistribution,
+)
+from repro.apps.queueing import (
+    approx_mva_closed_network,
+    mva_closed_network,
+    MVAResult,
+    mm1_mean_response_time,
+    mm1_utilization,
+    p90_from_mean_exponential,
+)
+from repro.apps.workload import (
+    ConcurrencySchedule,
+    ConstantWorkload,
+    StepWorkload,
+    RampWorkload,
+    PiecewiseWorkload,
+    TraceWorkload,
+)
+from repro.apps.rubbos import MultiTierApp, TierSpec, AppSpec
+
+__all__ = [
+    "DemandDistribution",
+    "Deterministic",
+    "Exponential",
+    "Erlang",
+    "LogNormal",
+    "mva_closed_network",
+    "approx_mva_closed_network",
+    "MVAResult",
+    "mm1_mean_response_time",
+    "mm1_utilization",
+    "p90_from_mean_exponential",
+    "ConcurrencySchedule",
+    "ConstantWorkload",
+    "StepWorkload",
+    "RampWorkload",
+    "PiecewiseWorkload",
+    "TraceWorkload",
+    "MultiTierApp",
+    "TierSpec",
+    "AppSpec",
+]

@@ -1,0 +1,140 @@
+"""Per-request CPU demand distributions.
+
+Demands are denominated in **GHz-seconds** (billions of cycles): the
+amount of CPU work one request needs at a given tier, independent of how
+fast the hosting VM happens to run.  A request with demand ``d`` served
+by a tier allocated ``c`` GHz takes ``d / c`` seconds of pure service
+time (plus queueing).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["DemandDistribution", "Deterministic", "Exponential", "Erlang", "LogNormal"]
+
+
+class DemandDistribution(ABC):
+    """A positive random variable with a known mean."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value (> 0)."""
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* values as an array (default: loop over sample)."""
+        return np.asarray([self.sample(rng) for _ in range(n)], dtype=float)
+
+
+class Deterministic(DemandDistribution):
+    """Constant demand; zero variance."""
+
+    def __init__(self, value: float):
+        self._value = check_positive("value", value)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self._value)
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self._value})"
+
+
+class Exponential(DemandDistribution):
+    """Exponential demand (coefficient of variation 1)."""
+
+    def __init__(self, mean: float):
+        self._mean = check_positive("mean", mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean})"
+
+
+class Erlang(DemandDistribution):
+    """Erlang-k demand: sum of k exponentials, CV = 1/sqrt(k).
+
+    Lower variability than exponential; ``k=1`` degenerates to
+    :class:`Exponential`.
+    """
+
+    def __init__(self, mean: float, k: int = 2):
+        self._mean = check_positive("mean", mean)
+        if k < 1 or int(k) != k:
+            raise ValueError(f"k must be a positive integer, got {k}")
+        self._k = int(k)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def k(self) -> int:
+        """Number of exponential stages."""
+        return self._k
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self._k, self._mean / self._k))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.gamma(self._k, self._mean / self._k, size=n)
+
+    def __repr__(self) -> str:
+        return f"Erlang(mean={self._mean}, k={self._k})"
+
+
+class LogNormal(DemandDistribution):
+    """Log-normal demand parameterized by mean and coefficient of variation.
+
+    Heavy-ish right tail; a common fit for web service demands.
+    """
+
+    def __init__(self, mean: float, cv: float = 1.0):
+        self._mean = check_positive("mean", mean)
+        self._cv = check_positive("cv", cv)
+        sigma2 = math.log(1.0 + cv * cv)
+        self._sigma = math.sqrt(sigma2)
+        self._mu = math.log(mean) - sigma2 / 2.0
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self._cv
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self._sigma))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self._mu, self._sigma, size=n)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self._mean}, cv={self._cv})"

@@ -1,0 +1,211 @@
+"""Analytic queueing models: exact MVA for closed networks, M/M/1 helpers.
+
+These serve three roles:
+
+1. validation targets for the discrete-event simulator (a PS tier fed by
+   a closed-loop client population must agree with exact MVA);
+2. a fast approximate plant for large parameter sweeps;
+3. sizing aids — picking service demands and allocations that make the
+   paper's operating points (e.g. 1000 ms at concurrency 40) feasible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "MVAResult",
+    "mva_closed_network",
+    "approx_mva_closed_network",
+    "mm1_mean_response_time",
+    "mm1_utilization",
+    "p90_from_mean_exponential",
+    "closed_network_response_time_ms",
+]
+
+
+@dataclass(frozen=True)
+class MVAResult:
+    """Output of exact Mean Value Analysis for a closed network.
+
+    Attributes
+    ----------
+    response_time_s:
+        Mean end-to-end response time (sum over stations), seconds.
+    throughput_rps:
+        System throughput in requests per second.
+    station_response_s:
+        Per-station mean residence times, seconds.
+    station_queue_len:
+        Per-station mean number of requests present.
+    station_utilization:
+        Per-station utilization in [0, 1).
+    """
+
+    response_time_s: float
+    throughput_rps: float
+    station_response_s: np.ndarray
+    station_queue_len: np.ndarray
+    station_utilization: np.ndarray
+
+
+def mva_closed_network(
+    service_times_s: Sequence[float],
+    n_clients: int,
+    think_time_s: float,
+    visits: Sequence[float] | None = None,
+) -> MVAResult:
+    """Exact single-class MVA for a closed queueing network.
+
+    Stations are queueing (PS or FCFS-exponential — MVA is identical for
+    both) with per-visit mean service times ``service_times_s``; clients
+    cycle through all stations then think for ``think_time_s``.
+    ``visits`` optionally scales per-station visit counts (default 1).
+
+    The classic exact recursion (Reiser & Lavenberg):
+    ``R_m(n) = v_m s_m (1 + Q_m(n-1))``, ``X(n) = n / (Z + sum R)``,
+    ``Q_m(n) = X(n) R_m(n)``.
+    """
+    s = np.asarray(service_times_s, dtype=float)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("service_times_s must be a non-empty 1-D sequence")
+    if np.any(s < 0):
+        raise ValueError(f"service times must be >= 0, got {s}")
+    if n_clients < 0 or int(n_clients) != n_clients:
+        raise ValueError(f"n_clients must be a non-negative integer, got {n_clients}")
+    check_non_negative("think_time_s", think_time_s)
+    v = np.ones_like(s) if visits is None else np.asarray(visits, dtype=float)
+    if v.shape != s.shape:
+        raise ValueError("visits must match service_times_s in length")
+    if np.any(v < 0):
+        raise ValueError(f"visits must be >= 0, got {v}")
+
+    demand = v * s  # per-pass service demand at each station
+    q = np.zeros_like(s)
+    x = 0.0
+    r = np.zeros_like(s)
+    for n in range(1, int(n_clients) + 1):
+        r = demand * (1.0 + q)
+        total_r = float(r.sum())
+        x = n / (think_time_s + total_r) if (think_time_s + total_r) > 0 else math.inf
+        q = x * r
+    total_r = float(r.sum()) if n_clients > 0 else 0.0
+    util = np.clip(x * demand, 0.0, 1.0)
+    return MVAResult(
+        response_time_s=total_r,
+        throughput_rps=float(x),
+        station_response_s=r.copy(),
+        station_queue_len=q.copy(),
+        station_utilization=util,
+    )
+
+
+def approx_mva_closed_network(
+    service_times_s: Sequence[float],
+    n_clients: int,
+    think_time_s: float,
+    visits: Sequence[float] | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 10_000,
+) -> MVAResult:
+    """Schweitzer's approximate MVA (fixed-point, O(M) per iteration).
+
+    Exact MVA iterates over the population (O(N·M)), which is costly for
+    sweeps over thousands of clients; Schweitzer's approximation replaces
+    ``Q_m(n-1)`` with ``(n-1)/n * Q_m(n)`` and solves the fixed point.
+    Errors are typically a few percent near saturation and vanish at the
+    extremes.  Same arguments and result type as
+    :func:`mva_closed_network`.
+    """
+    s = np.asarray(service_times_s, dtype=float)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("service_times_s must be a non-empty 1-D sequence")
+    if np.any(s < 0):
+        raise ValueError(f"service times must be >= 0, got {s}")
+    if n_clients < 0 or int(n_clients) != n_clients:
+        raise ValueError(f"n_clients must be a non-negative integer, got {n_clients}")
+    check_non_negative("think_time_s", think_time_s)
+    v = np.ones_like(s) if visits is None else np.asarray(visits, dtype=float)
+    if v.shape != s.shape:
+        raise ValueError("visits must match service_times_s in length")
+    n = int(n_clients)
+    demand = v * s
+    if n == 0:
+        zero = np.zeros_like(s)
+        return MVAResult(0.0, 0.0, zero, zero.copy(), zero.copy())
+
+    q = np.full_like(s, n / s.size)  # start with an even split
+    x = 0.0
+    r = demand.copy()
+    for _ in range(max_iter):
+        r = demand * (1.0 + (n - 1) / n * q)
+        total_r = float(r.sum())
+        x = n / (think_time_s + total_r) if (think_time_s + total_r) > 0 else math.inf
+        q_new = x * r
+        if float(np.max(np.abs(q_new - q))) < tol:
+            q = q_new
+            break
+        q = q_new
+    util = np.clip(x * demand, 0.0, 1.0)
+    return MVAResult(
+        response_time_s=float(r.sum()),
+        throughput_rps=float(x),
+        station_response_s=r.copy(),
+        station_queue_len=q.copy(),
+        station_utilization=util,
+    )
+
+
+def closed_network_response_time_ms(
+    demands_ghz_s: Sequence[float],
+    allocations_ghz: Sequence[float],
+    n_clients: int,
+    think_time_s: float,
+) -> float:
+    """Mean response time (ms) of a closed multi-tier app via MVA.
+
+    ``demands_ghz_s[j] / allocations_ghz[j]`` is tier *j*'s mean service
+    time.  This is the analytic counterpart of one
+    :class:`repro.apps.rubbos.MultiTierApp` operating point.
+    """
+    d = np.asarray(demands_ghz_s, dtype=float)
+    c = np.asarray(allocations_ghz, dtype=float)
+    if d.shape != c.shape:
+        raise ValueError("demands and allocations must have equal length")
+    if np.any(c <= 0):
+        raise ValueError(f"allocations must be > 0, got {c}")
+    service = d / c
+    res = mva_closed_network(service, n_clients, think_time_s)
+    return res.response_time_s * 1000.0
+
+
+def mm1_utilization(arrival_rps: float, service_time_s: float) -> float:
+    """Offered load rho = lambda * s of an M/M/1 queue."""
+    check_non_negative("arrival_rps", arrival_rps)
+    check_non_negative("service_time_s", service_time_s)
+    return arrival_rps * service_time_s
+
+
+def mm1_mean_response_time(arrival_rps: float, service_time_s: float) -> float:
+    """Mean sojourn time of a stable M/M/1 queue: ``s / (1 - rho)``."""
+    rho = mm1_utilization(arrival_rps, service_time_s)
+    if rho >= 1.0:
+        return math.inf
+    return service_time_s / (1.0 - rho)
+
+
+def p90_from_mean_exponential(mean: float) -> float:
+    """90th percentile of an exponential with the given mean (= mean·ln 10).
+
+    M/M/1 sojourn times are exactly exponential, so this converts the
+    analytic mean into the paper's 90-percentile SLA metric.  For other
+    distributions it is an approximation.
+    """
+    check_non_negative("mean", mean)
+    return mean * math.log(10.0)

@@ -1,0 +1,349 @@
+"""Request-level simulator of a multi-tier web application.
+
+This is the synthetic stand-in for the paper's testbed workload: a PHP
+RUBBoS bulletin board deployed as a two-tier application (Apache web
+tier, MySQL database tier), one VM per tier, driven by the ``ab``
+benchmarking tool at a fixed concurrency level (paper §VI-A).
+
+Model
+-----
+* Each tier is a processor-sharing CPU (:class:`repro.sim.des.PSResource`)
+  whose capacity equals the GHz allocation of the hosting VM — the
+  quantity the paper's controller actuates.
+* A fixed population of closed-loop clients (the concurrency level)
+  cycles: think (exponential) → tier 1 → tier 2 → ... → record response
+  time → think again.  This matches ``ab``'s closed-loop semantics.
+* Per-visit CPU demands are drawn from configurable distributions
+  (:mod:`repro.apps.demand`), so response times are stochastic and the
+  90-percentile is measured *empirically* per control period, exactly as
+  the testbed's response-time monitor would.
+
+The app exposes :meth:`MultiTierApp.run_period`, which advances the
+embedded discrete-event simulation by one control period and returns the
+measurements the response-time controller consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.demand import DemandDistribution, Exponential
+from repro.sim.des import PSResource, SimEvent, Simulator
+from repro.sim.metrics import PeriodStats
+from repro.util.rng import RngLike, ensure_rng
+from repro.util.validation import check_positive
+
+__all__ = ["TierSpec", "AppSpec", "MultiTierApp"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Static description of one application tier.
+
+    Attributes
+    ----------
+    name:
+        Human-readable tier name (e.g. ``"web"``, ``"db"``).
+    demand:
+        Per-request CPU demand distribution in GHz-seconds.
+    min_alloc_ghz / max_alloc_ghz:
+        Acceptable range for the VM's CPU allocation; the controller's
+        actuator constraints.
+    max_concurrency:
+        Optional admission cap — at most this many requests in CPU
+        service simultaneously; excess requests wait FIFO at the tier's
+        door.  Models a worker-pool limit (Apache ``MaxClients``, a DB
+        connection pool).  ``None`` = unbounded processor sharing.
+    """
+
+    name: str
+    demand: DemandDistribution
+    min_alloc_ghz: float = 0.1
+    max_alloc_ghz: float = 4.0
+    max_concurrency: Optional[int] = None
+
+    def __post_init__(self):
+        check_positive("min_alloc_ghz", self.min_alloc_ghz)
+        if self.max_alloc_ghz < self.min_alloc_ghz:
+            raise ValueError(
+                f"max_alloc_ghz ({self.max_alloc_ghz}) < min_alloc_ghz "
+                f"({self.min_alloc_ghz})"
+            )
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Static description of a multi-tier application."""
+
+    name: str
+    tiers: Tuple[TierSpec, ...]
+    think_time_s: float = 1.0
+
+    def __post_init__(self):
+        if not self.tiers:
+            raise ValueError("an application needs at least one tier")
+        check_positive("think_time_s", self.think_time_s)
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers (= number of VMs hosting this app)."""
+        return len(self.tiers)
+
+    @staticmethod
+    def rubbos(
+        name: str = "rubbos",
+        web_demand_ghz_s: float = 0.020,
+        db_demand_ghz_s: float = 0.015,
+        think_time_s: float = 1.0,
+        max_alloc_ghz: float = 4.0,
+    ) -> "AppSpec":
+        """The default two-tier RUBBoS-like configuration.
+
+        Demands are exponential with means of 20 ms (web) and 15 ms (db)
+        of CPU time per request at 1 GHz — sized so that a ~1 GHz/tier
+        allocation yields a 90-percentile response time near the paper's
+        1000 ms set point at concurrency 40.
+        """
+        return AppSpec(
+            name=name,
+            tiers=(
+                TierSpec("web", Exponential(web_demand_ghz_s), 0.1, max_alloc_ghz),
+                TierSpec("db", Exponential(db_demand_ghz_s), 0.1, max_alloc_ghz),
+            ),
+            think_time_s=think_time_s,
+        )
+
+
+class _Tier:
+    """One tier: a PS CPU behind an optional FIFO admission gate.
+
+    With ``max_concurrency`` set, at most that many requests share the
+    CPU; the rest wait in arrival order, as behind a worker-pool limit.
+    The completion event's value is the *total* tier sojourn (admission
+    wait + service).
+    """
+
+    __slots__ = ("sim", "spec", "resource", "_waiting", "_in_service")
+
+    def __init__(self, sim: Simulator, spec: TierSpec, capacity_ghz: float):
+        self.sim = sim
+        self.spec = spec
+        self.resource = PSResource(sim, capacity_ghz)
+        self._waiting: Deque[tuple] = deque()
+        self._in_service = 0
+
+    def submit(self, work_ghz_seconds: float) -> SimEvent:
+        outer = self.sim.event()
+        job = (float(work_ghz_seconds), outer, self.sim.now)
+        cap = self.spec.max_concurrency
+        if cap is None or self._in_service < cap:
+            self._start(job)
+        else:
+            self._waiting.append(job)
+        return outer
+
+    def _start(self, job: tuple) -> None:
+        work, outer, arrival = job
+        self._in_service += 1
+        inner = self.resource.submit(work)
+        inner.on_success(lambda _v: self._complete(outer, arrival))
+
+    def _complete(self, outer: SimEvent, arrival: float) -> None:
+        self._in_service -= 1
+        outer.succeed(self.sim.now - arrival)
+        cap = self.spec.max_concurrency
+        while self._waiting and (cap is None or self._in_service < cap):
+            self._start(self._waiting.popleft())
+
+    # -- pass-throughs ---------------------------------------------------
+
+    def set_capacity(self, capacity_ghz: float) -> None:
+        self.resource.set_capacity(capacity_ghz)
+
+    def reset_counters(self) -> None:
+        self.resource.reset_counters()
+
+    @property
+    def work_done(self) -> float:
+        return self.resource.work_done
+
+    @property
+    def queue_length(self) -> int:
+        """Requests in service plus any waiting at the admission gate."""
+        return self._in_service + len(self._waiting)
+
+
+class MultiTierApp:
+    """A running multi-tier application with closed-loop clients.
+
+    Parameters
+    ----------
+    spec:
+        Static application description.
+    initial_allocations_ghz:
+        CPU allocation per tier, GHz.  Defaults to 1.0 GHz each.
+    concurrency:
+        Initial number of closed-loop clients.
+    rng:
+        Seed or generator for demands and think times.
+    """
+
+    def __init__(
+        self,
+        spec: AppSpec,
+        initial_allocations_ghz: Optional[Sequence[float]] = None,
+        concurrency: int = 0,
+        rng: RngLike = None,
+    ):
+        self.spec = spec
+        self.sim = Simulator()
+        self._rng = ensure_rng(rng)
+        if initial_allocations_ghz is None:
+            initial_allocations_ghz = [1.0] * spec.n_tiers
+        alloc = np.asarray(initial_allocations_ghz, dtype=float)
+        if alloc.shape != (spec.n_tiers,):
+            raise ValueError(
+                f"expected {spec.n_tiers} allocations, got shape {alloc.shape}"
+            )
+        self._alloc = np.empty(spec.n_tiers)
+        self._tiers: List[_Tier] = [
+            _Tier(self.sim, tier, 1.0) for tier in spec.tiers
+        ]
+        self.set_allocations(alloc)
+        self._target_n = 0
+        self._n_spawned = 0
+        self._parked: Dict[int, SimEvent] = {}
+        self._period_rts: List[float] = []
+        if concurrency:
+            self.set_concurrency(concurrency)
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def allocations_ghz(self) -> np.ndarray:
+        """Current per-tier CPU allocations (GHz), copied."""
+        return self._alloc.copy()
+
+    @property
+    def concurrency(self) -> int:
+        """Current target concurrency level."""
+        return self._target_n
+
+    def set_allocations(self, allocations_ghz: Sequence[float]) -> None:
+        """Apply new per-tier allocations, clipped to each tier's range."""
+        alloc = np.asarray(allocations_ghz, dtype=float)
+        if alloc.shape != (self.spec.n_tiers,):
+            raise ValueError(
+                f"expected {self.spec.n_tiers} allocations, got shape {alloc.shape}"
+            )
+        for j, (tier, res) in enumerate(zip(self.spec.tiers, self._tiers)):
+            value = float(np.clip(alloc[j], tier.min_alloc_ghz, tier.max_alloc_ghz))
+            self._alloc[j] = value
+            res.set_capacity(value)
+
+    def allocation_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) per-tier allocation bounds in GHz."""
+        lo = np.asarray([t.min_alloc_ghz for t in self.spec.tiers])
+        hi = np.asarray([t.max_alloc_ghz for t in self.spec.tiers])
+        return lo, hi
+
+    def set_concurrency(self, n: int) -> None:
+        """Change the number of active closed-loop clients.
+
+        Raising the level wakes parked clients / spawns new ones; lowering
+        it lets extra clients finish their in-flight request and park.
+        """
+        if n < 0:
+            raise ValueError(f"concurrency must be >= 0, got {n}")
+        self._target_n = int(n)
+        while self._n_spawned < self._target_n:
+            idx = self._n_spawned
+            self._n_spawned += 1
+            self.sim.process(self._client_loop(idx))
+        for idx in sorted(list(self._parked.keys())):
+            if idx < self._target_n:
+                ev = self._parked.pop(idx)
+                ev.succeed(None)
+
+    # -- execution ----------------------------------------------------------
+
+    def warmup(self, duration_s: float) -> None:
+        """Run *duration_s* seconds and discard all measurements."""
+        self.sim.run_until(self.sim.now + float(duration_s))
+        self._reset_period()
+
+    def run_period(self, duration_s: float) -> PeriodStats:
+        """Advance one control period and return its measurements."""
+        duration_s = check_positive("duration_s", duration_s)
+        self._reset_period()
+        self.sim.run_until(self.sim.now + duration_s)
+        rts = np.asarray(self._period_rts, dtype=float)
+        utils = tuple(
+            min(res.work_done / (self._alloc[j] * duration_s), 1.0)
+            if self._alloc[j] > 0
+            else 0.0
+            for j, res in enumerate(self._tiers)
+        )
+        if rts.size:
+            p90 = float(np.percentile(rts, 90.0))
+            p50 = float(np.percentile(rts, 50.0))
+            mean = float(rts.mean())
+            rt_max = float(rts.max())
+        else:
+            p90 = p50 = mean = rt_max = float("nan")
+        return PeriodStats(
+            rt_p90_ms=p90,
+            rt_mean_ms=mean,
+            completed=int(rts.size),
+            throughput_rps=rts.size / duration_s,
+            utilizations=utils,
+            rt_p50_ms=p50,
+            rt_max_ms=rt_max,
+        )
+
+    def used_ghz(self, duration_s: float) -> np.ndarray:
+        """Average GHz consumed per tier over the last ``duration_s``.
+
+        Derived from each tier's ``work_done`` integral; callers must pass
+        the same duration they ran.
+        """
+        return np.asarray(
+            [res.work_done / duration_s for res in self._tiers], dtype=float
+        )
+
+    def queue_lengths(self) -> List[int]:
+        """Instantaneous number of in-service requests per tier."""
+        return [res.queue_length for res in self._tiers]
+
+    # -- internals ------------------------------------------------------
+
+    def _reset_period(self) -> None:
+        self._period_rts = []
+        for res in self._tiers:
+            res.reset_counters()
+
+    def _client_loop(self, idx: int):
+        rng = self._rng
+        think_mean = self.spec.think_time_s
+        while True:
+            if idx >= self._target_n:
+                ev = self.sim.event()
+                self._parked[idx] = ev
+                yield ev
+                continue
+            yield self.sim.timeout(float(rng.exponential(think_mean)))
+            if idx >= self._target_n:
+                continue
+            t_start = self.sim.now
+            for tier_spec, res in zip(self.spec.tiers, self._tiers):
+                work = tier_spec.demand.sample(rng)
+                yield res.submit(work)
+            self._period_rts.append((self.sim.now - t_start) * 1000.0)

@@ -1,0 +1,210 @@
+"""Client workload schedules (concurrency level over time).
+
+The paper drives each RUBBoS instance with the Apache ``ab`` tool at a
+fixed *concurrency level* — the number of closed-loop clients.  Its
+stress experiment (Fig. 3) steps App5's concurrency from 40 to 80 during
+t in [600 s, 1200 s].  A schedule maps simulated time to the integer
+concurrency level the workload generator should hold.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "ConcurrencySchedule",
+    "ConstantWorkload",
+    "StepWorkload",
+    "RampWorkload",
+    "PiecewiseWorkload",
+    "TraceWorkload",
+]
+
+
+class ConcurrencySchedule(ABC):
+    """Maps simulated time (s) to an integer concurrency level."""
+
+    @abstractmethod
+    def level(self, time_s: float) -> int:
+        """Concurrency level in effect at *time_s*."""
+
+    @property
+    @abstractmethod
+    def max_level(self) -> int:
+        """Largest level the schedule can ever return (for sizing)."""
+
+
+class ConstantWorkload(ConcurrencySchedule):
+    """Fixed concurrency for the whole run."""
+
+    def __init__(self, level: int):
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        self._level = int(level)
+
+    def level(self, time_s: float) -> int:
+        return self._level
+
+    @property
+    def max_level(self) -> int:
+        return self._level
+
+    def __repr__(self) -> str:
+        return f"ConstantWorkload({self._level})"
+
+
+class StepWorkload(ConcurrencySchedule):
+    """Base level with a rectangular step to ``high`` on [t_start, t_end).
+
+    ``StepWorkload(40, 80, 600, 1200)`` reproduces the paper's Fig. 3
+    stress scenario.
+    """
+
+    def __init__(self, base: int, high: int, t_start_s: float, t_end_s: float):
+        if base < 0 or high < 0:
+            raise ValueError("levels must be >= 0")
+        if not t_end_s > t_start_s:
+            raise ValueError(
+                f"t_end_s ({t_end_s}) must be after t_start_s ({t_start_s})"
+            )
+        self._base = int(base)
+        self._high = int(high)
+        self._t0 = float(t_start_s)
+        self._t1 = float(t_end_s)
+
+    def level(self, time_s: float) -> int:
+        return self._high if self._t0 <= time_s < self._t1 else self._base
+
+    @property
+    def max_level(self) -> int:
+        return max(self._base, self._high)
+
+    def __repr__(self) -> str:
+        return (
+            f"StepWorkload(base={self._base}, high={self._high}, "
+            f"t=[{self._t0}, {self._t1}))"
+        )
+
+
+class RampWorkload(ConcurrencySchedule):
+    """Linear ramp from ``start`` to ``end`` over [t_start, t_end]."""
+
+    def __init__(self, start: int, end: int, t_start_s: float, t_end_s: float):
+        if start < 0 or end < 0:
+            raise ValueError("levels must be >= 0")
+        if not t_end_s > t_start_s:
+            raise ValueError(
+                f"t_end_s ({t_end_s}) must be after t_start_s ({t_start_s})"
+            )
+        self._a = int(start)
+        self._b = int(end)
+        self._t0 = float(t_start_s)
+        self._t1 = float(t_end_s)
+
+    def level(self, time_s: float) -> int:
+        if time_s <= self._t0:
+            return self._a
+        if time_s >= self._t1:
+            return self._b
+        frac = (time_s - self._t0) / (self._t1 - self._t0)
+        return int(round(self._a + frac * (self._b - self._a)))
+
+    @property
+    def max_level(self) -> int:
+        return max(self._a, self._b)
+
+    def __repr__(self) -> str:
+        return (
+            f"RampWorkload({self._a}->{self._b}, t=[{self._t0}, {self._t1}])"
+        )
+
+
+class PiecewiseWorkload(ConcurrencySchedule):
+    """Step function defined by breakpoints ``[(t0, level0), (t1, level1), ...]``.
+
+    Level ``level_i`` holds on ``[t_i, t_{i+1})``; the first breakpoint
+    must be at time 0 so the level is defined everywhere.
+    """
+
+    def __init__(self, breakpoints: Sequence[Tuple[float, int]]):
+        pts: List[Tuple[float, int]] = [(float(t), int(l)) for t, l in breakpoints]
+        if not pts:
+            raise ValueError("breakpoints must be non-empty")
+        if pts[0][0] != 0.0:
+            raise ValueError(f"first breakpoint must be at t=0, got {pts[0][0]}")
+        for (ta, _), (tb, _) in zip(pts, pts[1:]):
+            if not tb > ta:
+                raise ValueError("breakpoint times must be strictly increasing")
+        for _, level in pts:
+            if level < 0:
+                raise ValueError("levels must be >= 0")
+        self._points = pts
+
+    def level(self, time_s: float) -> int:
+        current = self._points[0][1]
+        for t, lvl in self._points:
+            if time_s >= t:
+                current = lvl
+            else:
+                break
+        return current
+
+    @property
+    def max_level(self) -> int:
+        return max(lvl for _, lvl in self._points)
+
+    def __repr__(self) -> str:
+        return f"PiecewiseWorkload({self._points})"
+
+
+class TraceWorkload(ConcurrencySchedule):
+    """Concurrency driven by a normalized utilization series.
+
+    Bridges the trace substrate to the testbed: a series of values in
+    [0, 1] (e.g. one row of a :class:`repro.traces.UtilizationTrace`) is
+    mapped affinely onto ``[min_level, max_level]`` and held for
+    ``interval_s`` per sample — a "day in the life" client population.
+    Times beyond the series clamp to its last sample.
+    """
+
+    def __init__(
+        self,
+        series,
+        interval_s: float,
+        min_level: int,
+        max_level: int,
+        time_scale: float = 1.0,
+    ):
+        values = [float(v) for v in series]
+        if not values:
+            raise ValueError("series must be non-empty")
+        if any(not 0.0 <= v <= 1.0 for v in values):
+            raise ValueError("series values must lie in [0, 1]")
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if not 0 <= min_level <= max_level:
+            raise ValueError(
+                f"need 0 <= min_level <= max_level, got {min_level}, {max_level}"
+            )
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self._values = values
+        self._interval = float(interval_s) / float(time_scale)
+        self._lo = int(min_level)
+        self._hi = int(max_level)
+
+    def level(self, time_s: float) -> int:
+        idx = min(int(max(time_s, 0.0) // self._interval), len(self._values) - 1)
+        frac = self._values[idx]
+        return int(round(self._lo + frac * (self._hi - self._lo)))
+
+    @property
+    def max_level(self) -> int:
+        return self._hi
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceWorkload({len(self._values)} samples x {self._interval:.0f}s, "
+            f"levels [{self._lo}, {self._hi}])"
+        )

@@ -1,0 +1,128 @@
+"""Command-line entry points (installed as ``repro-testbed``,
+``repro-largescale``, and ``repro-trace``).
+
+Each command runs one of the paper's experiments with configurable
+parameters and prints a plain-text report; they are thin wrappers over
+the same harnesses the benchmark suite uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.workload import StepWorkload
+from repro.sim.largescale import LargeScaleConfig, run_largescale
+from repro.sim.testbed import TestbedConfig, TestbedExperiment
+from repro.traces.generator import TraceConfig, generate_trace
+from repro.util.tables import format_table
+
+
+def main_testbed(argv: Optional[List[str]] = None) -> int:
+    """Run the simulated 4-server / 8-application testbed."""
+    parser = argparse.ArgumentParser(
+        prog="repro-testbed",
+        description="Simulated testbed with MPC response-time control (paper Figs. 2-3).",
+    )
+    parser.add_argument("--duration", type=float, default=600.0, help="run length in seconds")
+    parser.add_argument("--setpoint", type=float, default=1000.0, help="response-time set point (ms)")
+    parser.add_argument("--concurrency", type=int, default=40, help="clients per application")
+    parser.add_argument("--apps", type=int, default=8, help="number of applications")
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument(
+        "--step-workload",
+        action="store_true",
+        help="apply the paper's Fig. 3 concurrency step (40->80 on app 5, t in [600,1200))",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = {}
+    if args.step_workload:
+        workloads[min(5, args.apps - 1)] = StepWorkload(
+            args.concurrency, 2 * args.concurrency, 600.0, 1200.0
+        )
+    config = TestbedConfig(
+        n_apps=args.apps,
+        duration_s=args.duration,
+        setpoint_ms=args.setpoint,
+        concurrency=args.concurrency,
+        workloads=workloads,
+        seed=args.seed,
+    )
+    result = TestbedExperiment(config).run()
+    from repro.sim.report import testbed_report
+
+    print(testbed_report(result, n_apps=args.apps, setpoint_ms=args.setpoint))
+    return 0
+
+
+def main_largescale(argv: Optional[List[str]] = None) -> int:
+    """Run the trace-driven large-scale comparison (paper Fig. 6)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-largescale",
+        description="Trace-driven data-center simulation: IPAC vs pMapper energy per VM.",
+    )
+    parser.add_argument("--vms", type=int, nargs="+", default=[30, 500, 2000, 5415])
+    parser.add_argument("--servers", type=int, default=3000)
+    parser.add_argument("--days", type=int, default=7)
+    parser.add_argument("--schemes", nargs="+", default=["ipac", "pmapper"],
+                        choices=["ipac", "pmapper", "pac", "static_peak"])
+    parser.add_argument("--provisioning", default="current",
+                        choices=["current", "ewma_peak", "holt"])
+    parser.add_argument("--relief", action="store_true",
+                        help="enable on-demand overload relief between invocations")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    trace = generate_trace(
+        TraceConfig(n_servers=max(args.vms), n_days=args.days), rng=args.seed
+    )
+    rows = []
+    for n in args.vms:
+        row = [n]
+        for scheme in args.schemes:
+            res = run_largescale(
+                trace,
+                LargeScaleConfig(
+                    n_vms=n, n_servers=args.servers, scheme=scheme,
+                    provisioning=args.provisioning, ondemand_relief=args.relief,
+                    seed=args.seed,
+                ),
+            )
+            row.extend([res.energy_per_vm_wh, res.migrations])
+        rows.append(row)
+    headers = ["#VMs"]
+    for scheme in args.schemes:
+        headers.extend([f"{scheme} Wh/VM", f"{scheme} moves"])
+    print(format_table(headers, rows, title=f"Energy per VM over {args.days} days"))
+    return 0
+
+
+def main_trace(argv: Optional[List[str]] = None) -> int:
+    """Generate a synthetic utilization trace and write it to CSV."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Generate a synthetic 15-minute data-center utilization trace.",
+    )
+    parser.add_argument("output", help="output CSV path")
+    parser.add_argument("--servers", type=int, default=5415)
+    parser.add_argument("--days", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    trace = generate_trace(
+        TraceConfig(n_servers=args.servers, n_days=args.days), rng=args.seed
+    )
+    trace.to_csv(args.output)
+    u = trace.utilization
+    print(
+        f"Wrote {args.output}: {trace.n_series} series x {trace.n_samples} samples, "
+        f"util mean {u.mean():.3f} / p95 {np.percentile(u, 95):.3f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_testbed())

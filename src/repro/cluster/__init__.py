@@ -1,0 +1,46 @@
+"""Virtualized cluster model: servers, VMs, power, DVFS, migration.
+
+This package is the synthetic equivalent of the paper's physical
+infrastructure: Xen hosts with DVFS-capable CPUs, VMs with GHz CPU
+allocations, live migration, and sleep states (DESIGN.md §5).
+"""
+
+from repro.cluster.power import MeasuredPowerCurve, ServerPowerModel
+from repro.cluster.server import CPUSpec, ServerSpec, Server
+from repro.cluster.vm import VM
+from repro.cluster.application import Application
+from repro.cluster.migration import LiveMigrationModel, MigrationRecord
+from repro.cluster.datacenter import DataCenter
+from repro.cluster.catalog import (
+    CPU_3GHZ_QUAD,
+    CPU_2GHZ_DUAL,
+    CPU_1P5GHZ_DUAL,
+    SERVER_TYPE_A,
+    SERVER_TYPE_B,
+    SERVER_TYPE_C,
+    STANDARD_SERVER_TYPES,
+    TESTBED_SERVER,
+    make_server_pool,
+)
+
+__all__ = [
+    "ServerPowerModel",
+    "MeasuredPowerCurve",
+    "CPUSpec",
+    "ServerSpec",
+    "Server",
+    "VM",
+    "Application",
+    "LiveMigrationModel",
+    "MigrationRecord",
+    "DataCenter",
+    "CPU_3GHZ_QUAD",
+    "CPU_2GHZ_DUAL",
+    "CPU_1P5GHZ_DUAL",
+    "SERVER_TYPE_A",
+    "SERVER_TYPE_B",
+    "SERVER_TYPE_C",
+    "STANDARD_SERVER_TYPES",
+    "TESTBED_SERVER",
+    "make_server_pool",
+]

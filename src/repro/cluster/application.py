@@ -1,0 +1,51 @@
+"""Multi-tier application record linking VMs to a running workload."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.apps.rubbos import MultiTierApp
+
+__all__ = ["Application"]
+
+
+class Application:
+    """An application deployed in the data center.
+
+    Bundles the per-tier VM ids (in tier order) with, optionally, the
+    live :class:`~repro.apps.rubbos.MultiTierApp` plant that produces its
+    response-time measurements.  Large-scale simulations that drive VM
+    demands from a utilization trace leave ``plant`` as ``None``.
+    """
+
+    __slots__ = ("app_id", "name", "vm_ids", "plant", "rt_setpoint_ms")
+
+    def __init__(
+        self,
+        app_id: str,
+        vm_ids: Sequence[str],
+        name: str = "",
+        plant: Optional[MultiTierApp] = None,
+        rt_setpoint_ms: float = 1000.0,
+    ):
+        if not vm_ids:
+            raise ValueError("an application needs at least one VM")
+        if plant is not None and plant.spec.n_tiers != len(vm_ids):
+            raise ValueError(
+                f"plant has {plant.spec.n_tiers} tiers but {len(vm_ids)} VM ids given"
+            )
+        if rt_setpoint_ms <= 0:
+            raise ValueError(f"rt_setpoint_ms must be positive, got {rt_setpoint_ms}")
+        self.app_id = app_id
+        self.name = name or app_id
+        self.vm_ids: List[str] = list(vm_ids)
+        self.plant = plant
+        self.rt_setpoint_ms = float(rt_setpoint_ms)
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers (VMs) of this application."""
+        return len(self.vm_ids)
+
+    def __repr__(self) -> str:
+        return f"Application({self.app_id}, tiers={self.n_tiers})"

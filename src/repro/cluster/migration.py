@@ -1,0 +1,62 @@
+"""Live-migration mechanics and bookkeeping.
+
+The paper treats migration as expensive (seconds to minutes) relative to
+CPU re-allocation and DVFS, which is why the optimizer runs on a long
+time scale and filters migrations through a cost function (§V).  This
+module provides the standard pre-copy live-migration cost model used to
+parameterize those decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["LiveMigrationModel", "MigrationRecord"]
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed VM migration (for logs and cost accounting)."""
+
+    vm_id: str
+    source_id: str
+    target_id: str
+    time_s: float
+    duration_s: float
+    bytes_moved_mb: float
+
+
+@dataclass(frozen=True)
+class LiveMigrationModel:
+    """Pre-copy live migration cost estimates.
+
+    Parameters
+    ----------
+    bandwidth_mbps:
+        Network bandwidth dedicated to migration traffic (megabits/s).
+    dirty_factor:
+        Total traffic as a multiple of the VM's memory footprint
+        (pre-copy rounds re-send dirtied pages; 1.0 = a single pass).
+    downtime_s:
+        Stop-and-copy downtime added at the end of the transfer.
+    """
+
+    bandwidth_mbps: float = 1000.0
+    dirty_factor: float = 1.3
+    downtime_s: float = 0.2
+
+    def __post_init__(self):
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+        check_in_range("dirty_factor", self.dirty_factor, 1.0, 10.0)
+        check_in_range("downtime_s", self.downtime_s, 0.0, 60.0)
+
+    def bytes_moved_mb(self, memory_mb: float) -> float:
+        """Total megabytes transferred for a VM of the given footprint."""
+        return float(memory_mb) * self.dirty_factor
+
+    def duration_s(self, memory_mb: float) -> float:
+        """Wall-clock duration of the migration in seconds."""
+        megabits = self.bytes_moved_mb(memory_mb) * 8.0
+        return megabits / self.bandwidth_mbps + self.downtime_s

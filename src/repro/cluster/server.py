@@ -1,0 +1,153 @@
+"""Physical server model: CPU with discrete DVFS levels, memory, states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cluster.power import ServerPowerModel
+from repro.util.validation import check_monotone_increasing, check_positive
+
+__all__ = ["CPUSpec", "ServerSpec", "Server"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A processor model: core count and its discrete DVFS frequencies.
+
+    ``freq_levels_ghz`` must be strictly increasing; the last entry is
+    the nominal maximum frequency.  Total capacity at a level is
+    ``freq * cores`` (all cores share one frequency domain, as on the
+    paper's testbed hardware).
+    """
+
+    model: str
+    cores: int
+    freq_levels_ghz: Tuple[float, ...]
+
+    def __post_init__(self):
+        if self.cores < 1 or int(self.cores) != self.cores:
+            raise ValueError(f"cores must be a positive integer, got {self.cores}")
+        if not self.freq_levels_ghz:
+            raise ValueError("freq_levels_ghz must be non-empty")
+        for f in self.freq_levels_ghz:
+            check_positive("frequency level", f)
+        check_monotone_increasing("freq_levels_ghz", self.freq_levels_ghz)
+
+    @property
+    def max_freq_ghz(self) -> float:
+        """Nominal maximum frequency."""
+        return self.freq_levels_ghz[-1]
+
+    @property
+    def min_freq_ghz(self) -> float:
+        """Lowest DVFS frequency."""
+        return self.freq_levels_ghz[0]
+
+    @property
+    def max_capacity_ghz(self) -> float:
+        """Total cycles/s across all cores at maximum frequency."""
+        return self.max_freq_ghz * self.cores
+
+    def capacity_at(self, freq_ghz: float) -> float:
+        """Total capacity at a given per-core frequency."""
+        return float(freq_ghz) * self.cores
+
+    def lowest_level_for(self, demand_ghz: float) -> float:
+        """Lowest frequency whose total capacity covers *demand_ghz*.
+
+        Returns the maximum frequency if even that cannot cover the
+        demand (the overloaded case — the arbitrator then rations).
+        """
+        for f in self.freq_levels_ghz:
+            if self.capacity_at(f) >= demand_ghz - 1e-9:
+                return f
+        return self.max_freq_ghz
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A server model: CPU, memory, and power characteristics."""
+
+    name: str
+    cpu: CPUSpec
+    memory_mb: int
+    power: ServerPowerModel
+
+    def __post_init__(self):
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+
+    @property
+    def max_capacity_ghz(self) -> float:
+        """Total CPU capacity at maximum frequency."""
+        return self.cpu.max_capacity_ghz
+
+    @property
+    def power_efficiency(self) -> float:
+        """GHz of capacity per watt at full load — the paper's sort key
+        ("ratio between the maximum CPU frequency and maximum power
+        consumption", §V)."""
+        return self.cpu.max_capacity_ghz / self.power.busy_w
+
+
+class Server:
+    """A physical server instance with runtime state.
+
+    State is limited to what the paper's algorithms manipulate: the
+    active/sleep flag and the current DVFS frequency.  VM placement is
+    tracked by :class:`repro.cluster.datacenter.DataCenter` to keep a
+    single source of truth.
+    """
+
+    __slots__ = ("server_id", "spec", "active", "freq_ghz")
+
+    def __init__(self, server_id: str, spec: ServerSpec, active: bool = True):
+        self.server_id = server_id
+        self.spec = spec
+        self.active = bool(active)
+        self.freq_ghz = spec.cpu.max_freq_ghz
+
+    @property
+    def capacity_ghz(self) -> float:
+        """Capacity at the *current* frequency (0 when sleeping)."""
+        if not self.active:
+            return 0.0
+        return self.spec.cpu.capacity_at(self.freq_ghz)
+
+    @property
+    def max_capacity_ghz(self) -> float:
+        """Capacity at maximum frequency regardless of state."""
+        return self.spec.max_capacity_ghz
+
+    def set_frequency(self, freq_ghz: float) -> None:
+        """Switch to one of the spec's discrete DVFS levels."""
+        levels = self.spec.cpu.freq_levels_ghz
+        if not any(abs(freq_ghz - f) < 1e-9 for f in levels):
+            raise ValueError(
+                f"{freq_ghz} GHz is not a DVFS level of {self.spec.cpu.model} "
+                f"(levels: {levels})"
+            )
+        self.freq_ghz = float(freq_ghz)
+
+    def power_w(self, used_ghz: float) -> float:
+        """Instantaneous power given average GHz actually consumed."""
+        if not self.active:
+            return self.spec.power.sleep_power_w()
+        cap = self.capacity_ghz
+        util = 0.0 if cap <= 0 else min(max(used_ghz / cap, 0.0), 1.0)
+        ratio = self.freq_ghz / self.spec.cpu.max_freq_ghz
+        return self.spec.power.active_power_w(ratio, util)
+
+    def sleep(self) -> None:
+        """Enter the sleep state (caller must have evacuated VMs)."""
+        self.active = False
+
+    def wake(self) -> None:
+        """Leave the sleep state at maximum frequency."""
+        self.active = True
+        self.freq_ghz = self.spec.cpu.max_freq_ghz
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "sleeping"
+        return f"Server({self.server_id}, {self.spec.name}, {state}, {self.freq_ghz}GHz)"

@@ -1,0 +1,49 @@
+"""Virtual machine model."""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["VM"]
+
+
+class VM:
+    """A virtual machine hosting one tier of one application.
+
+    ``demand_ghz`` is the CPU *requirement* determined by the
+    application-level response-time controller (paper §III: "CPU resource
+    demands"); ``allocation_ghz`` is what the server-level arbitrator
+    actually granted.  The two differ only when the hosting server is
+    overloaded.
+    """
+
+    __slots__ = ("vm_id", "app_id", "tier_index", "memory_mb", "demand_ghz", "allocation_ghz")
+
+    def __init__(
+        self,
+        vm_id: str,
+        app_id: str = "",
+        tier_index: int = 0,
+        memory_mb: int = 1024,
+        demand_ghz: float = 0.0,
+    ):
+        if memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {memory_mb}")
+        if tier_index < 0:
+            raise ValueError(f"tier_index must be >= 0, got {tier_index}")
+        self.vm_id = vm_id
+        self.app_id = app_id
+        self.tier_index = int(tier_index)
+        self.memory_mb = int(memory_mb)
+        self.demand_ghz = check_non_negative("demand_ghz", demand_ghz)
+        self.allocation_ghz = 0.0
+
+    def set_demand(self, demand_ghz: float) -> None:
+        """Update the controller-determined CPU requirement."""
+        self.demand_ghz = check_non_negative("demand_ghz", demand_ghz)
+
+    def __repr__(self) -> str:
+        return (
+            f"VM({self.vm_id}, app={self.app_id}, tier={self.tier_index}, "
+            f"demand={self.demand_ghz:.3f}GHz, mem={self.memory_mb}MB)"
+        )

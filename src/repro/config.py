@@ -1,0 +1,30 @@
+"""One-stop import for every experiment/config dataclass.
+
+The configs live next to the code they parameterize; this module
+re-exports them so scripts can do ``from repro.config import ...``
+without memorizing the package layout.
+"""
+
+from repro.control.mpc_core import MPCConfig
+from repro.core.controller.response_time_controller import ControllerConfig
+from repro.core.manager import PowerManagerConfig
+from repro.core.optimizer.ipac import IPACConfig
+from repro.core.optimizer.minslack import MinSlackConfig
+from repro.core.optimizer.pac import PACConfig
+from repro.core.optimizer.pmapper import PMapperConfig
+from repro.sim.largescale import LargeScaleConfig
+from repro.sim.testbed import TestbedConfig
+from repro.traces.generator import TraceConfig
+
+__all__ = [
+    "MPCConfig",
+    "ControllerConfig",
+    "PowerManagerConfig",
+    "IPACConfig",
+    "MinSlackConfig",
+    "PACConfig",
+    "PMapperConfig",
+    "LargeScaleConfig",
+    "TestbedConfig",
+    "TraceConfig",
+]

@@ -1,0 +1,29 @@
+"""Control-theory substrate: QP solver, ARX models, MPC machinery.
+
+The paper's response-time controller is a constrained MIMO Model
+Predictive Controller over an identified ARX model.  This package
+provides the generic machinery; :mod:`repro.core.controller` assembles
+it into the paper's specific controller (Eq. 2-4).
+"""
+
+from repro.control.qp import QPResult, solve_qp
+from repro.control.arx import ARXModel
+from repro.control.lti import StateSpace, arx_to_state_space, dominant_time_constant, step_response
+from repro.control.mpc_core import MPCConfig, MPCController, MPCSolution
+from repro.control.stability import arx_poles, is_stable_arx, closed_loop_converges
+
+__all__ = [
+    "QPResult",
+    "solve_qp",
+    "ARXModel",
+    "StateSpace",
+    "arx_to_state_space",
+    "dominant_time_constant",
+    "step_response",
+    "MPCConfig",
+    "MPCController",
+    "MPCSolution",
+    "arx_poles",
+    "is_stable_arx",
+    "closed_loop_converges",
+]

@@ -1,0 +1,230 @@
+"""ARX (AutoRegressive with eXogenous input) models.
+
+The paper identifies the response-time dynamics of each application as
+an ARX model (its Eq. 1):
+
+``t(k) = a1 t(k-1) + b1' c(k-1) + b2' c(k-2) + g``
+
+with scalar output ``t`` (90-percentile response time, ms) and input
+vector ``c`` (per-tier CPU allocations, GHz).
+
+**Index convention.**  The paper indexes inputs by *decision* number:
+its ``c(k-1)`` is the most recent allocation decision — the one active
+while ``t(k)`` was being measured.  This library indexes inputs by the
+*period they act in*: ``c(k)`` is the allocation active during period
+``k``, so the same model reads
+
+``t(k) = a1 t(k-1) + b1' c(k) + b2' c(k-1) + g``
+
+(b_q multiplies ``c(k-q+1)``).  The two are the same model; only the
+label on the input sequence differs.  The practical consequence is that
+the first MPC decision directly shapes the *next* measured output, which
+matches a plant whose queues settle well within one control period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ARXModel"]
+
+
+@dataclass(frozen=True)
+class ARXModel:
+    """An identified ARX model.
+
+    Attributes
+    ----------
+    a:
+        Output coefficients, shape ``(na,)``; ``a[p-1]`` multiplies
+        ``t(k-p)``.
+    b:
+        Input coefficient matrix, shape ``(nb, m)``; row ``q-1``
+        multiplies ``c(k-q+1)`` — row 0 is the input active during the
+        predicted period.
+    g:
+        Constant (affine) term, capturing the operating-point offset.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    g: float = 0.0
+
+    def __post_init__(self):
+        a = np.atleast_1d(np.asarray(self.a, dtype=float))
+        b = np.atleast_2d(np.asarray(self.b, dtype=float))
+        if a.ndim != 1 or a.size == 0:
+            raise ValueError(f"a must be a non-empty vector, got shape {a.shape}")
+        if b.ndim != 2 or b.shape[0] == 0 or b.shape[1] == 0:
+            raise ValueError(f"b must be a non-empty (nb, m) matrix, got shape {b.shape}")
+        if not np.all(np.isfinite(a)) or not np.all(np.isfinite(b)) or not np.isfinite(self.g):
+            raise ValueError("ARX coefficients must be finite")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "g", float(self.g))
+
+    @property
+    def na(self) -> int:
+        """Number of autoregressive lags."""
+        return self.a.shape[0]
+
+    @property
+    def nb(self) -> int:
+        """Number of input lags (including the direct, lag-0 term)."""
+        return self.b.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        """Input dimension (number of VMs/tiers)."""
+        return self.b.shape[1]
+
+    # -- simulation -----------------------------------------------------
+
+    def one_step(self, t_hist: Sequence[float], c_hist: np.ndarray) -> float:
+        """Predict ``t(k+1)``.
+
+        ``t_hist`` is most-recent-first ``[t(k), t(k-1), ...]`` with at
+        least ``na`` entries.  ``c_hist`` is most-recent-first rows
+        ``[c(k+1), c(k), ...]`` with at least ``nb`` rows — **row 0 is
+        the input active during the period being predicted.**
+        """
+        t_hist = np.asarray(t_hist, dtype=float)
+        c_hist = np.atleast_2d(np.asarray(c_hist, dtype=float))
+        if t_hist.shape[0] < self.na:
+            raise ValueError(f"need {self.na} past outputs, got {t_hist.shape[0]}")
+        if c_hist.shape[0] < self.nb or c_hist.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"need {self.nb} inputs of dim {self.n_inputs}, got {c_hist.shape}"
+            )
+        out = self.g
+        out += float(self.a @ t_hist[: self.na])
+        out += float(np.sum(self.b * c_hist[: self.nb], axis=(0, 1)))
+        return out
+
+    def simulate(
+        self,
+        t_init: Sequence[float],
+        c_sequence: np.ndarray,
+        c_init: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Free-run the model over an input sequence.
+
+        ``t_init`` is most-recent-first initial outputs (length >= na,
+        ending at period 0); ``c_sequence`` has shape ``(K, m)`` — row
+        ``k`` is the input active during period ``k+1``; ``c_init``
+        (optional, most-recent-first, shape ``(>=nb-1, m)``) supplies
+        inputs for period 0 and earlier.  Returns the simulated outputs
+        ``t(1..K)`` of shape ``(K,)``.
+        """
+        c_sequence = np.atleast_2d(np.asarray(c_sequence, dtype=float))
+        K = c_sequence.shape[0]
+        if c_sequence.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"c_sequence must have {self.n_inputs} columns, got {c_sequence.shape}"
+            )
+        t_hist = list(np.asarray(t_init, dtype=float)[: max(self.na, 1)])
+        if len(t_hist) < self.na:
+            raise ValueError(f"need {self.na} initial outputs, got {len(t_hist)}")
+        if c_init is None:
+            c_init = np.tile(c_sequence[0], (max(self.nb - 1, 1), 1))
+        c_hist = [np.asarray(row, dtype=float) for row in np.atleast_2d(c_init)]
+        while len(c_hist) < self.nb - 1:
+            c_hist.append(c_hist[-1].copy())
+        out = np.empty(K)
+        for k in range(K):
+            c_hist.insert(0, c_sequence[k])
+            c_hist = c_hist[: max(self.nb, 1)]
+            t_next = self.one_step(t_hist, np.asarray(c_hist))
+            out[k] = t_next
+            t_hist.insert(0, t_next)
+            t_hist = t_hist[: max(self.na, 1)]
+        return out
+
+    # -- MPC prediction ---------------------------------------------------
+
+    def predict_affine(
+        self,
+        t_hist: Sequence[float],
+        c_hist: np.ndarray,
+        horizon: int,
+        control_horizon: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Affine map from future input changes to predicted outputs.
+
+        Histories end at period ``k``: ``t_hist = [t(k), t(k-1), ...]``
+        and ``c_hist = [c(k), c(k-1), ...]`` (``c(k)`` being the input
+        that was active during the just-measured period).  Returns
+        ``(phi, psi)`` with shapes ``(P,)`` and ``(P, M*m)`` such that::
+
+            t(k+i | k) = phi[i-1] + psi[i-1] @ u,   i = 1..P
+
+        where ``u`` stacks ``[dc(k), dc(k+1|k), ..., dc(k+M-1|k)]`` and
+        future inputs follow ``c(k+i) = c(k) + sum_{j<i} dc(k+j)`` with
+        changes beyond the control horizon fixed at zero (the paper's
+        input-trajectory parameterization, §IV-B).
+        """
+        P = int(horizon)
+        M = int(control_horizon)
+        if P < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if not 1 <= M <= P:
+            raise ValueError(f"control_horizon must be in [1, {P}], got {M}")
+        m = self.n_inputs
+        t_hist = np.asarray(t_hist, dtype=float)
+        c_hist = np.atleast_2d(np.asarray(c_hist, dtype=float))
+        if t_hist.shape[0] < self.na:
+            raise ValueError(f"need {self.na} past outputs, got {t_hist.shape[0]}")
+        if c_hist.shape[0] < max(self.nb - 1, 1) or c_hist.shape[1] != m:
+            raise ValueError(
+                f"need {max(self.nb - 1, 1)} past inputs of dim {m}, got {c_hist.shape}"
+            )
+        nu = M * m
+        c_now = c_hist[0]
+
+        # Symbolic outputs: t(k+i) = t_const[i-1] + t_lin[i-1] @ u.
+        t_const = np.empty(P)
+        t_lin = np.zeros((P, nu))
+
+        # Future input c(k+j), j >= 1: c_now plus the first min(j, M)
+        # blocks of u.
+        def input_lin(j: int) -> np.ndarray:
+            sel = np.zeros((m, nu))
+            for l in range(min(j, M)):
+                sel[:, l * m : (l + 1) * m] += np.eye(m)
+            return sel
+
+        for i in range(1, P + 1):
+            const = self.g
+            lin = np.zeros(nu)
+            for p in range(1, self.na + 1):
+                tau = i - p  # output index relative to k
+                if tau >= 1:
+                    const += self.a[p - 1] * t_const[tau - 1]
+                    lin += self.a[p - 1] * t_lin[tau - 1]
+                else:
+                    const += self.a[p - 1] * t_hist[-tau]  # t(k+tau), tau <= 0
+            for q in range(1, self.nb + 1):
+                j = i - q + 1  # input index relative to k (b_q acts on c(k+i-q+1))
+                if j >= 1:
+                    const += float(self.b[q - 1] @ c_now)
+                    lin += self.b[q - 1] @ input_lin(j)
+                else:
+                    const += float(self.b[q - 1] @ c_hist[-j])  # c(k+j), j <= 0
+            t_const[i - 1] = const
+            t_lin[i - 1] = lin
+        return t_const, t_lin
+
+    def dc_gain(self) -> np.ndarray:
+        """Steady-state gain from each input to the output.
+
+        For constant input ``c`` the fixed point satisfies
+        ``t* = ((sum_q b_q) c + g) / (1 - sum_p a_p)``; returns the input
+        gain vector (inf when the model integrates).
+        """
+        denom = 1.0 - float(self.a.sum())
+        if abs(denom) < 1e-12:
+            return np.full(self.n_inputs, np.inf)
+        return self.b.sum(axis=0) / denom

@@ -1,0 +1,143 @@
+"""LTI views of ARX models: state space, step response, time constants.
+
+The paper's §IV-B "analyze the control performance" step works with the
+identified model as a linear time-invariant system.  These helpers give
+the standard views: a controllable-canonical state-space realization,
+open-loop step responses, and settling metrics — used by the stability
+analysis and the MPC-tuning ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.control.arx import ARXModel
+
+__all__ = ["StateSpace", "arx_to_state_space", "step_response", "dominant_time_constant"]
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """Discrete-time state-space model ``x+ = A x + B u, y = C x + D u + y0``.
+
+    ``y0`` carries the ARX affine term so the realization reproduces the
+    model exactly, not just its deviations.
+    """
+
+    A: np.ndarray
+    B: np.ndarray
+    C: np.ndarray
+    D: np.ndarray
+    y0: float = 0.0
+
+    @property
+    def n_states(self) -> int:
+        """State dimension."""
+        return self.A.shape[0]
+
+    def simulate(self, u_sequence: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Drive the realization with inputs ``(K, m)``; returns ``(K,)``."""
+        u = np.atleast_2d(np.asarray(u_sequence, dtype=float))
+        x = np.zeros(self.n_states) if x0 is None else np.asarray(x0, dtype=float)
+        out = np.empty(u.shape[0])
+        for k in range(u.shape[0]):
+            out[k] = float(self.C @ x + self.D @ u[k]) + self.y0
+            x = self.A @ x + self.B @ u[k]
+        return out
+
+
+def arx_to_state_space(model: ARXModel) -> StateSpace:
+    """Realize an ARX model in observable companion form.
+
+    The state stacks ``na`` past *deviation* outputs and ``nb - 1`` past
+    inputs; the direct term ``b_1`` becomes ``D`` (our convention has the
+    lag-0 input acting on the same period's output).  The affine term is
+    absorbed into the zero-input equilibrium ``y0 = g / (1 - sum a)``, so
+    the realization is exact for non-integrating models (integrating
+    models are rejected).
+    """
+    na, nb, m = model.na, model.nb, model.n_inputs
+    denom = 1.0 - float(model.a.sum())
+    if abs(denom) < 1e-12:
+        raise ValueError("state-space realization requires a non-integrating model")
+    n = na + max(nb - 1, 0) * m
+    A = np.zeros((n, n))
+    B = np.zeros((n, m))
+    C = np.zeros(n)
+
+    # Output block: y(k) = sum a_p y(k-p) + sum_{q>=2} b_q c(k-q+1) + b_1 c(k) + g
+    # State layout: [y(k-1) ... y(k-na), c(k-1) ... c(k-nb+1)] (inputs flattened).
+    C[:na] = model.a
+    for q in range(2, nb + 1):
+        base = na + (q - 2) * m
+        C[base : base + m] = model.b[q - 1]
+    D = model.b[0].copy()
+
+    # y-shift rows: next state y-block = [y(k), y(k-1), ...] where
+    # y(k) = C x + D u + g; the affine part is carried by y0 in C-space —
+    # for the state recursion we drop g (it is re-added at the output).
+    A[0, :] = C
+    B[0, :] = D
+    for p in range(1, na):
+        A[p, p - 1] = 1.0
+    # input-shift rows.
+    if nb >= 2:
+        base = na
+        B[base : base + m, :] = np.eye(m)
+        for q in range(2, nb):
+            src = na + (q - 2) * m
+            dst = na + (q - 1) * m
+            A[dst : dst + m, src : src + m] = np.eye(m)
+    return StateSpace(A=A, B=B, C=C, D=D, y0=float(model.g / denom))
+
+
+def step_response(
+    model: ARXModel,
+    input_index: int,
+    step_size: float = 1.0,
+    n_steps: int = 60,
+    baseline_input: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Open-loop response to a step on one input channel.
+
+    Returns the *deviation* of the output from its pre-step equilibrium,
+    shape ``(n_steps,)`` — converging to ``dc_gain[input_index] * step``
+    for a stable model.
+    """
+    if not 0 <= input_index < model.n_inputs:
+        raise ValueError(f"input_index out of range: {input_index}")
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    m = model.n_inputs
+    base = np.zeros(m) if baseline_input is None else np.asarray(baseline_input, float)
+    denom = 1.0 - float(model.a.sum())
+    if abs(denom) < 1e-12:
+        raise ValueError("step_response requires a non-integrating model")
+    y_eq = float((model.g + model.b.sum(axis=0) @ base) / denom)
+    stepped = base.copy()
+    stepped[input_index] += float(step_size)
+    out = model.simulate([y_eq] * model.na, np.tile(stepped, (n_steps, 1)),
+                         c_init=np.tile(base, (max(model.nb - 1, 1), 1)))
+    return out - y_eq
+
+
+def dominant_time_constant(model: ARXModel, period_s: float = 1.0) -> float:
+    """Time constant of the slowest pole, in seconds.
+
+    ``tau = -T / ln|z_max|``; returns ``inf`` for non-decaying poles and
+    0 for a memoryless model.
+    """
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    roots = np.roots(np.concatenate([[1.0], -model.a]))
+    if roots.size == 0:
+        return 0.0
+    mag = float(np.max(np.abs(roots)))
+    if mag >= 1.0:
+        return float("inf")
+    if mag <= 0.0:
+        return 0.0
+    return -period_s / np.log(mag)

@@ -1,0 +1,258 @@
+"""Generic constrained MPC over an ARX model.
+
+Implements the optimization the paper's controller solves each control
+period (its Eq. 2 cost, Eq. 4 terminal constraint) for any ARX model:
+
+``min_u  sum_{i=1..P} Q (t(k+i|k) - ref_i)^2  +  sum_{i=0..M-1} |dc_i|^2_R``
+
+subject to actuator bounds on the resulting absolute inputs, an optional
+aggregate-capacity cap, and the terminal equality ``t(k+M|k) = Ts``.
+When the terminal equality makes the QP infeasible (the set point is not
+reachable within M steps under the bounds), it is automatically softened
+into a large quadratic penalty — the standard practical treatment — and
+the solution is flagged accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.control.arx import ARXModel
+from repro.control.qp import QPResult, solve_qp
+
+__all__ = ["MPCConfig", "MPCSolution", "MPCController"]
+
+
+@dataclass(frozen=True)
+class MPCConfig:
+    """Tuning knobs of the MPC (paper §IV-B notation).
+
+    Attributes
+    ----------
+    prediction_horizon:
+        P — periods over which tracking error is penalized.
+    control_horizon:
+        M — periods with free input changes (P >= M >= 1).
+    q_weight:
+        Q — tracking-error weight.
+    r_weight:
+        R — control-penalty weight; scalar or per-input vector.  "can be
+        tuned to represent a preference among the VMs" (paper).
+    terminal_constraint:
+        Enforce t(k+M|k) = Ts as a hard equality (paper Eq. 4).
+    terminal_soft_weight:
+        Penalty weight used when the hard terminal equality is
+        infeasible under the actuator bounds.
+    delta_max:
+        Optional per-period rate limit on each input change,
+        ``|dc_j| <= delta_max`` (GHz).  Damps limit cycles on plants
+        whose gain steepens sharply near saturation.
+    power_weight:
+        Linear penalty on the summed future allocations (W-like units
+        per GHz).  The paper's cost (Eq. 2) only penalizes *changes*, so
+        allocation raised during a transient is never reclaimed; this
+        term adds gentle downward pressure so excess CPU drains back out
+        once tracking allows, feeding the DVFS savings.  The terminal
+        constraint keeps the response time pinned at the set point while
+        that happens.  0 reproduces the paper's cost exactly.
+    """
+
+    prediction_horizon: int = 8
+    control_horizon: int = 2
+    q_weight: float = 1.0
+    r_weight: float | Sequence[float] = 1.0
+    terminal_constraint: bool = True
+    terminal_soft_weight: float = 1e4
+    delta_max: Optional[float] = None
+    power_weight: float = 0.0
+
+    def __post_init__(self):
+        if self.prediction_horizon < 1:
+            raise ValueError(f"prediction_horizon must be >= 1, got {self.prediction_horizon}")
+        if not 1 <= self.control_horizon <= self.prediction_horizon:
+            raise ValueError(
+                f"control_horizon must be in [1, {self.prediction_horizon}], "
+                f"got {self.control_horizon}"
+            )
+        if self.q_weight <= 0:
+            raise ValueError(f"q_weight must be positive, got {self.q_weight}")
+        r = np.atleast_1d(np.asarray(self.r_weight, dtype=float))
+        if np.any(r <= 0):
+            raise ValueError(f"r_weight entries must be positive, got {self.r_weight}")
+        if self.terminal_soft_weight <= 0:
+            raise ValueError(
+                f"terminal_soft_weight must be positive, got {self.terminal_soft_weight}"
+            )
+        if self.delta_max is not None and self.delta_max <= 0:
+            raise ValueError(f"delta_max must be positive, got {self.delta_max}")
+        if self.power_weight < 0:
+            raise ValueError(f"power_weight must be >= 0, got {self.power_weight}")
+
+
+@dataclass(frozen=True)
+class MPCSolution:
+    """Result of one MPC solve.
+
+    ``delta_c`` is the first input change (applied to the system);
+    ``input_trajectory`` has shape ``(M, m)``; ``predicted_outputs`` are
+    t(k+1..k+P | k); ``terminal_softened`` reports whether the hard
+    terminal equality had to be relaxed.
+    """
+
+    delta_c: np.ndarray
+    input_trajectory: np.ndarray
+    predicted_outputs: np.ndarray
+    qp: QPResult
+    terminal_softened: bool
+
+
+class MPCController:
+    """Reusable MPC solver bound to an ARX model and a config."""
+
+    def __init__(self, model: ARXModel, config: MPCConfig | None = None):
+        self.model = model
+        self.config = config or MPCConfig()
+        m = model.n_inputs
+        r = np.atleast_1d(np.asarray(self.config.r_weight, dtype=float))
+        if r.size == 1:
+            r = np.full(m, float(r[0]))
+        if r.shape != (m,):
+            raise ValueError(
+                f"r_weight must be scalar or length-{m}, got shape {r.shape}"
+            )
+        self._r_vec = r
+
+    def solve(
+        self,
+        t_hist: Sequence[float],
+        c_hist: np.ndarray,
+        reference: Sequence[float],
+        setpoint: float,
+        c_min: Sequence[float],
+        c_max: Sequence[float],
+        total_cap_ghz: Optional[float] = None,
+        output_bias: float = 0.0,
+    ) -> MPCSolution:
+        """Compute the input-change trajectory for the current period.
+
+        Parameters
+        ----------
+        t_hist, c_hist:
+            Histories ending at period k — ``t_hist = [t(k), ...]``,
+            ``c_hist = [c(k), ...]`` (see
+            :meth:`repro.control.arx.ARXModel.predict_affine`).
+        reference:
+            Reference trajectory ref(k+i|k) for i=1..P (length P).
+        setpoint:
+            Ts, used by the terminal constraint.
+        c_min, c_max:
+            Per-input bounds on the *absolute* future inputs (GHz).
+        total_cap_ghz:
+            Optional cap on the summed inputs (e.g. host capacity).
+        output_bias:
+            Constant output-disturbance estimate added to every
+            predicted output (offset-free MPC): the caller's estimate of
+            the plant-model mismatch, typically a filtered innovation.
+        """
+        cfg = self.config
+        model = self.model
+        P, M, m = cfg.prediction_horizon, cfg.control_horizon, model.n_inputs
+        nu = M * m
+        ref = np.asarray(reference, dtype=float)
+        if ref.shape != (P,):
+            raise ValueError(f"reference must have length {P}, got {ref.shape}")
+        c_min = np.asarray(c_min, dtype=float)
+        c_max = np.asarray(c_max, dtype=float)
+        if c_min.shape != (m,) or c_max.shape != (m,):
+            raise ValueError(f"c_min/c_max must have length {m}")
+        if np.any(c_min > c_max):
+            raise ValueError(f"c_min must be <= c_max, got {c_min} > {c_max}")
+        c_now = np.atleast_2d(np.asarray(c_hist, dtype=float))[0]
+
+        phi, psi = model.predict_affine(t_hist, c_hist, P, M)
+        phi = phi + float(output_bias)
+
+        # Quadratic cost: tracking + control penalty.
+        q = cfg.q_weight
+        H = 2.0 * (q * psi.T @ psi)
+        H[np.diag_indices(nu)] += 2.0 * np.tile(self._r_vec, M)
+        g = 2.0 * q * psi.T @ (phi - ref)
+        if cfg.power_weight > 0.0:
+            # sum_{i=1..M} c(k+i) = const + sum_l (M - l) * dc_l, so the
+            # linear coefficient on block l is power_weight * (M - l).
+            block_coeff = cfg.power_weight * (M - np.arange(M, dtype=float))
+            g = g + np.repeat(block_coeff, m)
+
+        # Bounds on absolute inputs at k+1..k+M:
+        #   c_min <= c_now + cumsum(dc) <= c_max.
+        rows = []
+        rhs = []
+        cumulative = np.zeros((m, nu))
+        for i in range(M):
+            cumulative[:, i * m : (i + 1) * m] = np.eye(m)
+            sel = cumulative.copy()
+            rows.append(sel)
+            rhs.append(c_max - c_now)
+            rows.append(-sel)
+            rhs.append(c_now - c_min)
+            if total_cap_ghz is not None:
+                rows.append(np.sum(sel, axis=0, keepdims=True))
+                rhs.append(np.asarray([total_cap_ghz - float(c_now.sum())]))
+        if cfg.delta_max is not None:
+            eye = np.eye(nu)
+            rows.append(eye)
+            rhs.append(np.full(nu, cfg.delta_max))
+            rows.append(-eye)
+            rhs.append(np.full(nu, cfg.delta_max))
+        A_ub = np.vstack(rows)
+        b_ub = np.concatenate(rhs)
+
+        # Terminal constraint (paper Eq. 4): t(k+M|k) = Ts.
+        terminal_row = psi[M - 1 : M]
+        terminal_rhs = np.asarray([float(setpoint) - phi[M - 1]])
+
+        softened = False
+        if cfg.terminal_constraint:
+            result = solve_qp(H, g, A_eq=terminal_row, b_eq=terminal_rhs, A_ub=A_ub, b_ub=b_ub)
+            if not result.ok:
+                softened = True
+            else:
+                return self._package(result, phi, psi, c_now, softened=False)
+        # Soft terminal (or no terminal): add W * (t(k+M|k) - Ts)^2.
+        if cfg.terminal_constraint and softened:
+            w = cfg.terminal_soft_weight
+            H2 = H + 2.0 * w * terminal_row.T @ terminal_row
+            g2 = g + 2.0 * w * terminal_row[0] * (phi[M - 1] - float(setpoint))
+        else:
+            H2, g2 = H, g
+        result = solve_qp(H2, g2, A_ub=A_ub, b_ub=b_ub)
+        if not result.ok:
+            # Bounds themselves inconsistent (shouldn't happen: dc=0 is
+            # feasible whenever c_now is within bounds). Hold the input.
+            zero = np.zeros(nu)
+            result = QPResult(zero, "infeasible-hold", 0, ())
+        return self._package(result, phi, psi, c_now, softened=softened)
+
+    def _package(
+        self,
+        result: QPResult,
+        phi: np.ndarray,
+        psi: np.ndarray,
+        c_now: np.ndarray,
+        softened: bool,
+    ) -> MPCSolution:
+        m = self.model.n_inputs
+        M = self.config.control_horizon
+        u = np.asarray(result.x, dtype=float)
+        traj = u.reshape(M, m)
+        predicted = phi + psi @ u
+        return MPCSolution(
+            delta_c=traj[0].copy(),
+            input_trajectory=traj,
+            predicted_outputs=predicted,
+            qp=result,
+            terminal_softened=softened,
+        )

@@ -1,0 +1,178 @@
+"""Dense convex quadratic programming by the active-set method.
+
+Solves ``min 0.5 x'Hx + g'x  s.t.  A_eq x = b_eq,  A_ub x <= b_ub`` for
+small dense problems — exactly the shape the MPC controller produces
+every control period (a handful of decision variables, a few dozen
+constraints).  The implementation is the classic working-set scheme:
+
+1. solve the equality-constrained KKT system for the current working set;
+2. if an inactive inequality is violated, add the most violated one;
+3. if an active inequality has a negative multiplier, drop the most
+   negative one;
+4. repeat until primal feasible with non-negative multipliers.
+
+``H`` must be positive definite on the feasible set (the MPC cost has a
+strictly positive control penalty ``R``, which guarantees this).  The
+solver is validated against ``scipy.optimize`` in the test suite and
+falls back to it automatically if the active-set loop fails to settle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["QPResult", "solve_qp"]
+
+
+@dataclass(frozen=True)
+class QPResult:
+    """Outcome of a QP solve.
+
+    ``status`` is ``"optimal"``, ``"fallback"`` (SciPy finished the job),
+    or ``"infeasible"``.  ``x`` is ``None`` only when infeasible.
+    """
+
+    x: Optional[np.ndarray]
+    status: str
+    iterations: int
+    active_set: Tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when a solution was produced."""
+        return self.x is not None
+
+
+def _solve_kkt(
+    H: np.ndarray, g: np.ndarray, C: np.ndarray, d: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve the equality-constrained QP ``min .5x'Hx+g'x s.t. Cx=d``.
+
+    Returns ``(x, nu)`` where ``nu`` are the constraint multipliers.
+    Falls back to least-squares for singular KKT matrices (degenerate
+    working sets).
+    """
+    n = H.shape[0]
+    m = C.shape[0]
+    if m == 0:
+        try:
+            return np.linalg.solve(H, -g), np.empty(0)
+        except np.linalg.LinAlgError:
+            x, *_ = np.linalg.lstsq(H, -g, rcond=None)
+            return x, np.empty(0)
+    kkt = np.zeros((n + m, n + m))
+    kkt[:n, :n] = H
+    kkt[:n, n:] = C.T
+    kkt[n:, :n] = C
+    rhs = np.concatenate([-g, d])
+    try:
+        sol = np.linalg.solve(kkt, rhs)
+    except np.linalg.LinAlgError:
+        sol, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
+    return sol[:n], sol[n:]
+
+
+def _scipy_fallback(
+    H: np.ndarray,
+    g: np.ndarray,
+    A_eq: Optional[np.ndarray],
+    b_eq: Optional[np.ndarray],
+    A_ub: Optional[np.ndarray],
+    b_ub: Optional[np.ndarray],
+    x0: Optional[np.ndarray],
+    iterations: int,
+) -> QPResult:
+    """Solve with SciPy SLSQP; used when the active-set loop stalls."""
+    n = H.shape[0]
+    if x0 is None:
+        x0 = np.zeros(n)
+    constraints = []
+    if A_eq is not None and A_eq.shape[0]:
+        constraints.append(
+            {"type": "eq", "fun": lambda x, A=A_eq, b=b_eq: A @ x - b}
+        )
+    if A_ub is not None and A_ub.shape[0]:
+        constraints.append(
+            {"type": "ineq", "fun": lambda x, A=A_ub, b=b_ub: b - A @ x}
+        )
+    res = optimize.minimize(
+        lambda x: 0.5 * x @ H @ x + g @ x,
+        x0,
+        jac=lambda x: H @ x + g,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    if not res.success:
+        return QPResult(None, "infeasible", iterations, ())
+    return QPResult(np.asarray(res.x, dtype=float), "fallback", iterations, ())
+
+
+def solve_qp(
+    H: np.ndarray,
+    g: np.ndarray,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    A_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+) -> QPResult:
+    """Solve a dense convex QP (see module docstring for the form).
+
+    Parameters are NumPy arrays; ``A_eq``/``A_ub`` may be ``None`` or
+    empty.  Returns a :class:`QPResult`; check ``result.ok`` before using
+    ``result.x``.
+    """
+    H = np.asarray(H, dtype=float)
+    g = np.asarray(g, dtype=float)
+    n = g.shape[0]
+    if H.shape != (n, n):
+        raise ValueError(f"H must be {n}x{n}, got {H.shape}")
+    H = 0.5 * (H + H.T)  # symmetrize against numerical asymmetry
+
+    A_eq = np.zeros((0, n)) if A_eq is None else np.atleast_2d(np.asarray(A_eq, float))
+    b_eq = np.zeros(0) if b_eq is None else np.atleast_1d(np.asarray(b_eq, float))
+    A_ub = np.zeros((0, n)) if A_ub is None else np.atleast_2d(np.asarray(A_ub, float))
+    b_ub = np.zeros(0) if b_ub is None else np.atleast_1d(np.asarray(b_ub, float))
+    if A_eq.shape != (b_eq.shape[0], n):
+        raise ValueError(f"A_eq shape {A_eq.shape} inconsistent with n={n}, b_eq={b_eq.shape}")
+    if A_ub.shape != (b_ub.shape[0], n):
+        raise ValueError(f"A_ub shape {A_ub.shape} inconsistent with n={n}, b_ub={b_ub.shape}")
+
+    n_eq = A_eq.shape[0]
+    active: List[int] = []
+    x = None
+    for iteration in range(1, max_iter + 1):
+        C = np.vstack([A_eq, A_ub[active]]) if (n_eq or active) else np.zeros((0, n))
+        d = np.concatenate([b_eq, b_ub[active]]) if (n_eq or active) else np.zeros(0)
+        x, nu = _solve_kkt(H, g, C, d)
+
+        # Drop an active inequality whose multiplier went negative.
+        if active:
+            ineq_mult = nu[n_eq:]
+            worst = int(np.argmin(ineq_mult))
+            if ineq_mult[worst] < -tol:
+                active.pop(worst)
+                continue
+
+        # Add the most violated inactive inequality.
+        if A_ub.shape[0]:
+            resid = A_ub @ x - b_ub
+            resid[active] = -np.inf  # already enforced
+            worst = int(np.argmax(resid))
+            if resid[worst] > tol:
+                active.append(worst)
+                continue
+
+        # Verify equality feasibility (catches inconsistent A_eq).
+        if n_eq and np.max(np.abs(A_eq @ x - b_eq)) > 1e-6:
+            return _scipy_fallback(H, g, A_eq, b_eq, A_ub, b_ub, x, iteration)
+
+        return QPResult(x, "optimal", iteration, tuple(sorted(active)))
+
+    return _scipy_fallback(H, g, A_eq, b_eq, A_ub, b_ub, x, max_iter)

@@ -1,0 +1,90 @@
+"""Server-level CPU resource arbitrator with DVFS (paper §III, §IV-B).
+
+"A server-level CPU resource arbitrator then collects the CPU resource
+demands of all VMs hosted on the server, allocates the CPU resource to
+the VMs, and uses DVFS to save power, if the server has more CPU
+resources than the VMs require."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.cluster.server import Server
+from repro.util.validation import check_in_range
+
+__all__ = ["ArbitrationResult", "CPUResourceArbitrator"]
+
+
+@dataclass(frozen=True)
+class ArbitrationResult:
+    """Outcome of one arbitration round on one server.
+
+    Attributes
+    ----------
+    freq_ghz:
+        The DVFS frequency chosen (lowest level covering total demand).
+    allocations_ghz:
+        Granted GHz per VM.  Equal to demands when the server has room;
+        proportionally rationed when the server is overloaded even at
+        maximum frequency.
+    overloaded:
+        True when total demand exceeded the server's maximum capacity —
+        the signal the data-center optimizer uses to build its migration
+        list.
+    total_demand_ghz:
+        The aggregate demand the VMs requested.
+    """
+
+    freq_ghz: float
+    allocations_ghz: Dict[str, float]
+    overloaded: bool
+    total_demand_ghz: float
+
+
+class CPUResourceArbitrator:
+    """Per-server demand aggregation, DVFS selection, share allocation.
+
+    Parameters
+    ----------
+    headroom:
+        Fraction of capacity kept free when choosing the frequency: the
+        chosen level satisfies ``total_demand <= capacity * headroom``.
+        1.0 packs exactly; 0.9 leaves 10% slack for demand jitter
+        between control periods.
+    """
+
+    def __init__(self, headroom: float = 0.95):
+        self.headroom = check_in_range("headroom", headroom, 0.1, 1.0)
+
+    def arbitrate(self, server: Server, demands_ghz: Mapping[str, float]) -> ArbitrationResult:
+        """Pick the server frequency and per-VM grants for one period.
+
+        Side effects: sets ``server.freq_ghz`` via DVFS.  Returns the
+        grants; the caller applies them to VMs / plants.
+        """
+        if not server.active:
+            raise ValueError(f"cannot arbitrate sleeping server {server.server_id}")
+        for vm_id, demand in demands_ghz.items():
+            if demand < 0:
+                raise ValueError(f"negative demand for {vm_id}: {demand}")
+        total = float(sum(demands_ghz.values()))
+        cpu = server.spec.cpu
+        # Lowest DVFS level whose capacity covers demand plus headroom.
+        freq = cpu.lowest_level_for(total / self.headroom if total > 0 else 0.0)
+        server.set_frequency(freq)
+        capacity = cpu.capacity_at(freq)
+        overloaded = total > cpu.max_capacity_ghz * self.headroom + 1e-9
+        if total <= capacity + 1e-12 or total == 0.0:
+            allocations = {vm_id: float(d) for vm_id, d in demands_ghz.items()}
+        else:
+            # Overloaded even at the highest level: ration proportionally.
+            scale = capacity / total
+            allocations = {vm_id: float(d) * scale for vm_id, d in demands_ghz.items()}
+        return ArbitrationResult(
+            freq_ghz=freq,
+            allocations_ghz=allocations,
+            overloaded=overloaded,
+            total_demand_ghz=total,
+        )

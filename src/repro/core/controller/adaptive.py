@@ -1,0 +1,174 @@
+"""Response-time controller with *supervised* online model adaptation.
+
+Combines the paper's MPC controller with recursive least squares
+(:mod:`repro.sysid.rls`) — but adapts in shadow.  Closed-loop
+identification of a queueing plant is hazardous: steady operation is
+unexciting, and overload transients produce saturated, backlog-dominated
+samples that poison a local-linear fit.  A naively self-updating
+controller can talk itself into reversing its own control direction.
+
+The supervision scheme keeps the loop safe:
+
+* the RLS **candidate** model learns only from *clean* samples — the
+  input moved, the measurement was not clamped, and the output history
+  is inside the linear trust region;
+* every period, both the offline **base** model and the candidate are
+  scored on their one-step prediction of the latest measurement
+  (exponentially-weighted squared error);
+* the controller *uses* the candidate only while its score beats the
+  base's by a margin; otherwise it falls back to the base model — so in
+  the worst case the adaptive controller degrades exactly to the static
+  controller the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.control.arx import ARXModel
+from repro.control.mpc_core import MPCController
+from repro.control.stability import is_stable_arx
+from repro.core.controller.response_time_controller import (
+    ControllerConfig,
+    ResponseTimeController,
+)
+from repro.sysid.rls import RecursiveARXEstimator
+
+__all__ = ["AdaptiveResponseTimeController"]
+
+
+class AdaptiveResponseTimeController(ResponseTimeController):
+    """A :class:`ResponseTimeController` with supervised adaptation.
+
+    Parameters mirror the base class, plus:
+
+    forgetting, relative_uncertainty, max_relative_step:
+        RLS knobs (see :class:`~repro.sysid.rls.RecursiveARXEstimator`).
+    min_input_change_ghz:
+        Excitation gate: RLS consumes a sample only when some input
+        moved at least this much since the previous period.
+    error_forgetting:
+        EWMA factor of the model-scoring errors (0.9 ≈ a ~10-sample
+        window).
+    switch_margin:
+        The candidate takes over when its EWMA squared error is below
+        ``switch_margin`` × the base's (0.8 = must be 20% better).
+    min_scored_samples:
+        Both models must have been scored this many times before a
+        switch is considered.
+    """
+
+    def __init__(
+        self,
+        model: ARXModel,
+        config: ControllerConfig,
+        c_min: Sequence[float],
+        c_max: Sequence[float],
+        initial_alloc_ghz: Sequence[float],
+        forgetting: float = 0.98,
+        relative_uncertainty: float = 0.3,
+        max_relative_step: float = 0.3,
+        min_input_change_ghz: float = 0.05,
+        error_forgetting: float = 0.9,
+        switch_margin: float = 0.8,
+        min_scored_samples: int = 8,
+    ):
+        super().__init__(model, config, c_min, c_max, initial_alloc_ghz)
+        if not 0.0 < error_forgetting < 1.0:
+            raise ValueError(f"error_forgetting must be in (0,1), got {error_forgetting}")
+        if not 0.0 < switch_margin <= 1.0:
+            raise ValueError(f"switch_margin must be in (0,1], got {switch_margin}")
+        if min_input_change_ghz < 0:
+            raise ValueError(
+                f"min_input_change_ghz must be >= 0, got {min_input_change_ghz}"
+            )
+        self.base_model = model
+        self.estimator = RecursiveARXEstimator(
+            model,
+            forgetting=forgetting,
+            relative_uncertainty=relative_uncertainty,
+            max_relative_step=max_relative_step,
+        )
+        self._min_input_change = float(min_input_change_ghz)
+        self._error_forgetting = float(error_forgetting)
+        self._switch_margin = float(switch_margin)
+        self._min_scored = int(min_scored_samples)
+        self._score_base: Optional[float] = None
+        self._score_cand: Optional[float] = None
+        self._scored = 0
+        self._pred_base: Optional[float] = None
+        self._pred_cand: Optional[float] = None
+        self.using_candidate = False
+        self.candidate_periods = 0
+        self.rls_samples = 0
+
+    # -- main loop ------------------------------------------------------
+
+    def update(
+        self, measured_rt_ms: float, used_ghz: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Score models, learn in shadow, pick the better model, control."""
+        cfg = self.config
+        clean = (
+            np.isfinite(measured_rt_ms)
+            and 0.0 < measured_rt_ms < cfg.measurement_limit_ms
+        )
+
+        # 1. Score last period's predictions against this measurement.
+        if clean and self._pred_base is not None and self._pred_cand is not None:
+            lam = self._error_forgetting
+            err_b = (measured_rt_ms - self._pred_base) ** 2
+            err_c = (measured_rt_ms - self._pred_cand) ** 2
+            self._score_base = err_b if self._score_base is None else (
+                lam * self._score_base + (1 - lam) * err_b
+            )
+            self._score_cand = err_c if self._score_cand is None else (
+                lam * self._score_cand + (1 - lam) * err_c
+            )
+            self._scored += 1
+
+        # 2. Shadow RLS update on clean, excited samples whose output
+        #    history is itself unclamped (inside the trust region).
+        c_hist = np.asarray(self._c_hist)
+        excited = (
+            c_hist.shape[0] < 2
+            or float(np.max(np.abs(c_hist[0] - c_hist[1]))) >= self._min_input_change
+        )
+        history_clean = all(t < cfg.measurement_limit_ms for t in self._t_hist)
+        if clean and excited and history_clean:
+            self.estimator.update(float(measured_rt_ms), list(self._t_hist), c_hist)
+            self.rls_samples += 1
+
+        # 3. Supervision: pick the active model.
+        candidate = self.estimator.model
+        use_candidate = (
+            self._scored >= self._min_scored
+            and self._score_base is not None
+            and self._score_cand is not None
+            and self._score_cand < self._switch_margin * self._score_base
+            and is_stable_arx(candidate)
+        )
+        active = candidate if use_candidate else self.base_model
+        if (active is not self.model) or (use_candidate != self.using_candidate):
+            self.model = active
+            self._mpc = MPCController(active, cfg.mpc)
+        self.using_candidate = use_candidate
+        if use_candidate:
+            self.candidate_periods += 1
+
+        out = super().update(measured_rt_ms, used_ghz=used_ghz)
+
+        # 4. Stage both models' one-step predictions of the *next*
+        #    measurement (histories now end at k for outputs, k+1 for
+        #    inputs — exactly one_step's expected layout).
+        t_hist = list(self._t_hist)
+        c_hist_next = np.asarray(self._c_hist)
+        try:
+            self._pred_base = float(self.base_model.one_step(t_hist, c_hist_next))
+            self._pred_cand = float(candidate.one_step(t_hist, c_hist_next))
+        except ValueError:
+            self._pred_base = None
+            self._pred_cand = None
+        return out

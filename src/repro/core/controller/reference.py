@@ -1,0 +1,34 @@
+"""The exponential reference trajectory (paper Eq. 3).
+
+``ref(k+i|k) = Ts - exp(-i*T/Tref) * (Ts - t(k))``
+
+The reference starts at the current measurement and approaches the set
+point with time constant ``Tref``, so that a controller which tracks it
+perfectly makes the closed loop behave like a first-order linear system.
+A smaller ``Tref`` converges faster but risks overshoot (paper §IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["exponential_reference"]
+
+
+def exponential_reference(
+    t_current_ms: float,
+    setpoint_ms: float,
+    horizon: int,
+    period_s: float,
+    time_constant_s: float,
+) -> np.ndarray:
+    """Reference trajectory ref(k+i|k) for i = 1..horizon (ms)."""
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    check_positive("period_s", period_s)
+    check_positive("time_constant_s", time_constant_s)
+    i = np.arange(1, horizon + 1, dtype=float)
+    decay = np.exp(-i * period_s / time_constant_s)
+    return setpoint_ms - decay * (setpoint_ms - float(t_current_ms))

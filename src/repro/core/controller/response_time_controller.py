@@ -1,0 +1,248 @@
+"""The paper's application-level response time controller (§IV).
+
+One controller per multi-tier application.  Every control period it
+receives the measured 90-percentile response time, solves the MPC
+problem of Eq. 2-4 over the identified ARX model, and emits the CPU
+*demands* (GHz per VM) that the server-level arbitrators then satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.control.arx import ARXModel
+from repro.control.mpc_core import MPCConfig, MPCController, MPCSolution
+from repro.core.controller.reference import exponential_reference
+from repro.util.validation import check_positive
+
+__all__ = ["ControllerConfig", "ResponseTimeController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning of one response-time controller.
+
+    Attributes
+    ----------
+    setpoint_ms:
+        Ts — the 90-percentile response-time SLA target.
+    period_s:
+        T — the control period (seconds; the paper uses "several
+        seconds" to react to short-term workload variation).
+    ref_time_constant_s:
+        Tref of the exponential reference trajectory (Eq. 3).
+    mpc:
+        Horizons and weights of the underlying MPC (Eq. 2).
+    measurement_limit_ms:
+        Measured response times are clamped to this value before being
+        fed to the (local, linear) model — an overloaded plant can
+        return arbitrarily large percentiles that would otherwise
+        catapult the linear prediction far outside its valid region.
+    bias_gain:
+        Filter gain of the output-disturbance estimate (offset-free
+        MPC).  Each period the estimate moves this fraction of the way
+        toward the latest innovation ``t(k) - t̂(k|k-1)``; 0 disables
+        the correction.  This keeps tracking offset-free when the plant
+        drifts away from the identified model — the robustness the
+        paper demonstrates in its Figs. 4-5.
+    util_band:
+        Optional per-tier utilization guard ``(lo, hi)``.  When the
+        caller supplies measured per-tier CPU usage, each tier's
+        allocation is dynamically bounded to keep its utilization inside
+        the band: at least ``used/hi`` (no tier starves at 100%
+        utilization) and at most ``used/lo + util_band_headroom_ghz``
+        (no tier hoards idle cycles).  The identified model is a *local*
+        linearization whose per-tier gains are badly wrong far from the
+        operating point; the band keeps the MIMO optimizer inside the
+        region where those gains are meaningful.  ``None`` disables.
+    util_band_headroom_ghz:
+        Additive headroom on the band's upper allocation cap, so a tier
+        can grow out of a near-idle state.
+    """
+
+    setpoint_ms: float = 1000.0
+    period_s: float = 15.0
+    ref_time_constant_s: float = 15.0
+    mpc: MPCConfig = field(default_factory=lambda: MPCConfig(
+        prediction_horizon=8,
+        control_horizon=2,
+        q_weight=1.0,
+        r_weight=1e5,
+        delta_max=0.3,
+        power_weight=200.0,
+    ))
+    measurement_limit_ms: float = 3000.0
+    bias_gain: float = 0.3
+    util_band: Optional[tuple] = (0.75, 0.985)
+    util_band_headroom_ghz: float = 0.1
+
+    def __post_init__(self):
+        check_positive("setpoint_ms", self.setpoint_ms)
+        check_positive("period_s", self.period_s)
+        check_positive("ref_time_constant_s", self.ref_time_constant_s)
+        check_positive("measurement_limit_ms", self.measurement_limit_ms)
+        if not 0.0 <= self.bias_gain <= 1.0:
+            raise ValueError(f"bias_gain must be in [0, 1], got {self.bias_gain}")
+        if self.util_band is not None:
+            lo, hi = self.util_band
+            if not 0.0 < lo < hi <= 1.0:
+                raise ValueError(f"util_band must satisfy 0 < lo < hi <= 1, got {self.util_band}")
+        if self.util_band_headroom_ghz < 0:
+            raise ValueError(
+                f"util_band_headroom_ghz must be >= 0, got {self.util_band_headroom_ghz}"
+            )
+
+
+class ResponseTimeController:
+    """MIMO MPC response-time controller for one application.
+
+    Parameters
+    ----------
+    model:
+        Identified ARX response-time model (output ms, inputs GHz).
+    config:
+        Controller tuning.
+    c_min, c_max:
+        Per-VM allocation bounds (GHz) — actuator constraints.
+    initial_alloc_ghz:
+        Allocation assumed to be active when control starts.
+    """
+
+    def __init__(
+        self,
+        model: ARXModel,
+        config: ControllerConfig,
+        c_min: Sequence[float],
+        c_max: Sequence[float],
+        initial_alloc_ghz: Sequence[float],
+    ):
+        self.model = model
+        self.config = config
+        self.c_min = np.asarray(c_min, dtype=float)
+        self.c_max = np.asarray(c_max, dtype=float)
+        m = model.n_inputs
+        if self.c_min.shape != (m,) or self.c_max.shape != (m,):
+            raise ValueError(f"bounds must have length {m}")
+        if np.any(self.c_min > self.c_max):
+            raise ValueError("c_min must be <= c_max elementwise")
+        init = np.clip(np.asarray(initial_alloc_ghz, dtype=float), self.c_min, self.c_max)
+        if init.shape != (m,):
+            raise ValueError(f"initial_alloc_ghz must have length {m}")
+        self._mpc = MPCController(model, config.mpc)
+        # Histories, most-recent-first, seeded at the assumed steady state.
+        self._t_hist: List[float] = [config.setpoint_ms] * max(model.na, 1)
+        self._c_hist: List[np.ndarray] = [init.copy() for _ in range(max(model.nb, 1))]
+        self._last_valid_t = config.setpoint_ms
+        self._bias = 0.0
+        self._last_raw_prediction: Optional[float] = None
+        self.last_solution: Optional[MPCSolution] = None
+
+    @property
+    def output_bias_ms(self) -> float:
+        """Current output-disturbance (plant-model mismatch) estimate."""
+        return self._bias
+
+    @property
+    def current_demand_ghz(self) -> np.ndarray:
+        """Most recently emitted per-VM CPU demand (GHz)."""
+        return self._c_hist[0].copy()
+
+    def update(
+        self, measured_rt_ms: float, used_ghz: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """One control-period step: consume t(k), emit c(k+1).
+
+        ``used_ghz`` is the measured per-tier CPU actually consumed last
+        period; when provided (and ``util_band`` is configured) it drives
+        the dynamic per-tier allocation bounds.
+
+        A NaN measurement (no request completed this period — e.g. total
+        starvation) is replaced by the clamp limit, the most pessimistic
+        in-range value, so the controller pushes allocation up instead of
+        stalling.
+        """
+        cfg = self.config
+        if not np.isfinite(measured_rt_ms):
+            t_k = cfg.measurement_limit_ms
+        else:
+            t_k = float(np.clip(measured_rt_ms, 0.0, cfg.measurement_limit_ms))
+            self._last_valid_t = t_k
+        # Offset-free correction: filter the innovation between what the
+        # raw model predicted for this period and what was measured.
+        if self._last_raw_prediction is not None and cfg.bias_gain > 0.0:
+            innovation = t_k - self._last_raw_prediction
+            self._bias += cfg.bias_gain * (innovation - self._bias)
+            # The disturbance estimate is a correction within the plant's
+            # plausible output range; an unbounded estimate would mean the
+            # model is broken, not that the disturbance is that large.
+            limit = cfg.measurement_limit_ms
+            self._bias = float(np.clip(self._bias, -limit, limit))
+        self._t_hist.insert(0, t_k)
+        self._t_hist = self._t_hist[: max(self.model.na, 1)]
+
+        ref = exponential_reference(
+            t_k,
+            cfg.setpoint_ms,
+            cfg.mpc.prediction_horizon,
+            cfg.period_s,
+            cfg.ref_time_constant_s,
+        )
+        lo, hi = self._effective_bounds(used_ghz)
+        solution = self._mpc.solve(
+            self._t_hist,
+            np.asarray(self._c_hist),
+            ref,
+            cfg.setpoint_ms,
+            lo,
+            hi,
+            output_bias=self._bias,
+        )
+        self.last_solution = solution
+        # predicted_outputs[0] includes the bias; store the raw model
+        # prediction of the next measurement for the next innovation.
+        self._last_raw_prediction = float(solution.predicted_outputs[0]) - self._bias
+        c_next = np.clip(self._c_hist[0] + solution.delta_c, lo, hi)
+        self._c_hist.insert(0, c_next)
+        self._c_hist = self._c_hist[: max(self.model.nb, 1)]
+        return c_next.copy()
+
+    def _effective_bounds(
+        self, used_ghz: Optional[Sequence[float]]
+    ) -> tuple:
+        """Static actuator limits tightened by the utilization band."""
+        cfg = self.config
+        if used_ghz is None or cfg.util_band is None:
+            return self.c_min, self.c_max
+        used = np.asarray(used_ghz, dtype=float)
+        if used.shape != self.c_min.shape:
+            raise ValueError(
+                f"used_ghz must have shape {self.c_min.shape}, got {used.shape}"
+            )
+        band_lo, band_hi = cfg.util_band
+        lo = np.maximum(self.c_min, used / band_hi)
+        hi = np.minimum(
+            self.c_max, used / band_lo + cfg.util_band_headroom_ghz
+        )
+        # Keep the box non-empty and reachable from the current input
+        # under the rate limit (otherwise the QP would be infeasible).
+        c_now = self._c_hist[0]
+        if cfg.mpc.delta_max is not None:
+            lo = np.minimum(lo, c_now + cfg.mpc.delta_max)
+            hi = np.maximum(hi, c_now - cfg.mpc.delta_max)
+        lo = np.minimum(lo, self.c_max)
+        hi = np.maximum(hi, lo)
+        return lo, hi
+
+    def notify_allocation(self, actual_alloc_ghz: Sequence[float]) -> None:
+        """Overwrite the newest input-history entry with what was *actually*
+        granted (anti-windup: when the arbitrator rations an overloaded
+        server, the controller must not believe its full demand applied)."""
+        actual = np.asarray(actual_alloc_ghz, dtype=float)
+        if actual.shape != self._c_hist[0].shape:
+            raise ValueError(
+                f"expected shape {self._c_hist[0].shape}, got {actual.shape}"
+            )
+        self._c_hist[0] = actual.copy()

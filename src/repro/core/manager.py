@@ -1,0 +1,160 @@
+"""The integrated two-level power management solution (paper Fig. 1).
+
+``PowerManager`` wires together, over one :class:`~repro.cluster.datacenter.DataCenter`:
+
+* one :class:`~repro.core.controller.ResponseTimeController` per
+  application (short time scale — every control period);
+* one :class:`~repro.core.arbitrator.CPUResourceArbitrator` pass per
+  active server (same period: DVFS + share allocation);
+* one data-center-level optimizer invocation (long time scale —
+  IPAC by default, pluggable for baselines such as pMapper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.cluster.datacenter import DataCenter
+from repro.core.arbitrator import ArbitrationResult, CPUResourceArbitrator
+from repro.core.controller.response_time_controller import ResponseTimeController
+from repro.core.optimizer.ipac import IPACConfig, ipac
+from repro.core.optimizer.types import (
+    PlacementPlan,
+    PlacementProblem,
+    apply_plan,
+    snapshot_datacenter,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["PowerManagerConfig", "ControlStepResult", "PowerManager"]
+
+Optimizer = Callable[[PlacementProblem], PlacementPlan]
+
+
+@dataclass(frozen=True)
+class PowerManagerConfig:
+    """Timing and arbitration settings of the integrated manager.
+
+    The paper's separation of time scales: "the response time controller
+    is invoked on a small time scale (several seconds) ... while the
+    power optimizer is invoked on a longer time scale (hours to days)".
+    """
+
+    control_period_s: float = 15.0
+    optimizer_period_s: float = 4 * 3600.0
+    arbitrator_headroom: float = 0.95
+
+    def __post_init__(self):
+        check_positive("control_period_s", self.control_period_s)
+        check_positive("optimizer_period_s", self.optimizer_period_s)
+        if self.optimizer_period_s < self.control_period_s:
+            raise ValueError(
+                "optimizer_period_s must be >= control_period_s "
+                f"({self.optimizer_period_s} < {self.control_period_s})"
+            )
+
+
+@dataclass
+class ControlStepResult:
+    """Everything one control period produced.
+
+    ``granted_ghz`` maps app_id -> per-tier allocations actually granted
+    (post-arbitration); ``arbitration`` maps server_id -> its result;
+    ``overloaded_servers`` lists hosts whose demand exceeded capacity.
+    """
+
+    granted_ghz: Dict[str, np.ndarray] = field(default_factory=dict)
+    arbitration: Dict[str, ArbitrationResult] = field(default_factory=dict)
+    overloaded_servers: List[str] = field(default_factory=list)
+
+
+class PowerManager:
+    """Coordinates controllers, arbitrators, and the optimizer."""
+
+    def __init__(
+        self,
+        dc: DataCenter,
+        config: PowerManagerConfig | None = None,
+        optimizer: Optional[Optimizer] = None,
+    ):
+        self.dc = dc
+        self.config = config or PowerManagerConfig()
+        self.optimizer: Optimizer = optimizer or (lambda p: ipac(p, IPACConfig()))
+        self.arbitrator = CPUResourceArbitrator(self.config.arbitrator_headroom)
+        self.controllers: Dict[str, ResponseTimeController] = {}
+
+    def register_controller(self, app_id: str, controller: ResponseTimeController) -> None:
+        """Attach the response-time controller for a registered app."""
+        app = self.dc.applications.get(app_id)
+        if app is None:
+            raise KeyError(f"unknown application id {app_id!r}")
+        if controller.model.n_inputs != app.n_tiers:
+            raise ValueError(
+                f"controller has {controller.model.n_inputs} inputs but "
+                f"{app_id} has {app.n_tiers} tiers"
+            )
+        self.controllers[app_id] = controller
+
+    def control_step(
+        self,
+        measurements: Mapping[str, float],
+        used_ghz: Optional[Mapping[str, "np.ndarray"]] = None,
+    ) -> ControlStepResult:
+        """Run one control period across all applications and servers.
+
+        ``measurements`` maps app_id -> measured 90-percentile response
+        time (ms; NaN allowed); ``used_ghz`` optionally maps app_id ->
+        measured per-tier CPU consumption (feeds each controller's
+        utilization-band guard).  Updates VM demands and allocations in
+        the data center, applies DVFS, and feeds the granted (possibly
+        rationed) allocations back to each controller (anti-windup).
+        """
+        dc = self.dc
+        # 1. Application level: controllers emit new per-VM demands.
+        for app_id, rt_ms in measurements.items():
+            controller = self.controllers.get(app_id)
+            if controller is None:
+                raise KeyError(f"no controller registered for {app_id!r}")
+            usage = used_ghz.get(app_id) if used_ghz is not None else None
+            demands = controller.update(rt_ms, used_ghz=usage)
+            app = dc.applications[app_id]
+            for vm_id, demand in zip(app.vm_ids, demands):
+                dc.vms[vm_id].set_demand(float(demand))
+
+        # 2. Server level: arbitrate demands, choose DVFS, grant shares.
+        result = ControlStepResult()
+        for server in dc.active_servers():
+            hosted = dc.vms_on(server.server_id)
+            if not hosted:
+                # Empty active server idles at its lowest frequency.
+                server.set_frequency(server.spec.cpu.min_freq_ghz)
+                continue
+            demands = {vm.vm_id: vm.demand_ghz for vm in hosted}
+            arb = self.arbitrator.arbitrate(server, demands)
+            result.arbitration[server.server_id] = arb
+            if arb.overloaded:
+                result.overloaded_servers.append(server.server_id)
+            for vm in hosted:
+                vm.allocation_ghz = arb.allocations_ghz[vm.vm_id]
+
+        # 3. Feed granted allocations back to controllers and plants.
+        for app_id in measurements:
+            app = dc.applications[app_id]
+            granted = np.asarray(
+                [dc.vms[vm_id].allocation_ghz for vm_id in app.vm_ids]
+            )
+            result.granted_ghz[app_id] = granted
+            self.controllers[app_id].notify_allocation(granted)
+            if app.plant is not None:
+                app.plant.set_allocations(granted)
+        return result
+
+    def optimize(self, time_s: float = 0.0) -> PlacementPlan:
+        """One optimizer invocation: snapshot, plan, apply."""
+        problem = snapshot_datacenter(self.dc)
+        plan = self.optimizer(problem)
+        apply_plan(self.dc, plan, time_s=time_s)
+        return plan

@@ -1,0 +1,95 @@
+"""Exhaustive optimal placement for tiny instances (testing oracle).
+
+The consolidation problem is NP-hard (§V), so the paper uses heuristics;
+for instances of a handful of VMs and servers, however, the true optimum
+is computable by brute force.  The test suite uses this oracle to bound
+how far PAC/IPAC land from optimal — evidence the heuristics do what the
+paper claims, not just that they run.
+
+The objective mirrors the simulators' steady-state power accounting:
+hosting servers pay ``idle_w`` plus a load-proportional dynamic term;
+empty servers sleep at ``sleep_w`` (excluded, matching the harnesses'
+"sleeping pool is not billed" convention via the ``include_sleepers``
+flag).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Optional, Tuple
+
+from repro.core.optimizer.types import PlacementProblem
+
+__all__ = ["optimal_placement_power", "placement_power_w"]
+
+
+def placement_power_w(
+    problem: PlacementProblem,
+    mapping: Dict[str, str],
+    include_sleepers: bool = False,
+) -> float:
+    """Steady-state power of a placement (W).
+
+    Hosting servers: ``idle_w + (busy_w - idle_w) * load / max_capacity``.
+    Non-hosting servers contribute ``sleep_w`` only when
+    ``include_sleepers`` is set.
+    """
+    loads: Dict[str, float] = {}
+    for vm_id, sid in mapping.items():
+        loads[sid] = loads.get(sid, 0.0) + problem.vm_by_id(vm_id).demand_ghz
+    total = 0.0
+    for server in problem.servers:
+        load = loads.get(server.server_id)
+        if load is None:
+            if include_sleepers:
+                total += server.sleep_w
+            continue
+        util = min(load / server.max_capacity_ghz, 1.0)
+        total += server.idle_w + (server.busy_w - server.idle_w) * util
+    return total
+
+
+def optimal_placement_power(
+    problem: PlacementProblem,
+    max_states: int = 2_000_000,
+    include_sleepers: bool = False,
+) -> Tuple[float, Optional[Dict[str, str]]]:
+    """Minimum achievable power over all feasible complete placements.
+
+    Enumerates every assignment of VMs to servers (``S^V`` states), so it
+    is only usable for oracle-sized instances; ``max_states`` guards
+    against accidental explosions.  Returns ``(power_w, mapping)``;
+    mapping is ``None`` when no feasible complete placement exists.
+    """
+    n_states = len(problem.servers) ** len(problem.vms)
+    if n_states > max_states:
+        raise ValueError(
+            f"{n_states} states exceed max_states={max_states}; "
+            "this oracle is for tiny instances only"
+        )
+    server_ids = [s.server_id for s in problem.servers]
+    caps = {s.server_id: s.max_capacity_ghz for s in problem.servers}
+    mems = {s.server_id: s.memory_mb for s in problem.servers}
+    best_power = float("inf")
+    best_mapping: Optional[Dict[str, str]] = None
+    vms = problem.vms
+    for combo in product(server_ids, repeat=len(vms)):
+        load: Dict[str, float] = {}
+        mem: Dict[str, float] = {}
+        feasible = True
+        for vm, sid in zip(vms, combo):
+            load[sid] = load.get(sid, 0.0) + vm.demand_ghz
+            mem[sid] = mem.get(sid, 0.0) + vm.memory_mb
+            if load[sid] > caps[sid] + 1e-9 or mem[sid] > mems[sid] + 1e-9:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        mapping = {vm.vm_id: sid for vm, sid in zip(vms, combo)}
+        power = placement_power_w(problem, mapping, include_sleepers)
+        if power < best_power - 1e-12:
+            best_power = power
+            best_mapping = mapping
+    if best_mapping is None:
+        return float("inf"), None
+    return best_power, best_mapping

@@ -1,0 +1,273 @@
+"""Incremental Power-Aware Consolidation — IPAC (paper §V).
+
+Each invocation:
+
+1. **Overload relief** — servers whose demand exceeds their capacity
+   evict their smallest VMs into the migration list until they fit;
+   these moves are mandatory.
+2. **Incremental drain** — the VMs on the least power-efficient server
+   currently hosting VMs are added to the migration list; PAC places the
+   list (the victim itself excluded from receiving); the drain is kept
+   when the estimated cluster power decreases and reverted otherwise,
+   repeating with the next least efficient server until no improvement
+   remains.  The paper phrases the loop condition as "until the number
+   of active servers no longer decreases" — a proxy for its stated
+   objective ("the total power consumption of the cluster as the design
+   goal"); evaluating the power estimate directly is equivalent when a
+   drain sleeps a server, and additionally rejects degenerate drains
+   (e.g. relocating the only hosting server's VMs onto a worse machine
+   merely because an idle server happened to still be awake).
+3. **Cost-aware filter** — every resulting non-mandatory migration is
+   offered to the administrator's :class:`MigrationCostPolicy` with an
+   estimated power benefit; rejected moves are rolled back when safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.migration import LiveMigrationModel
+from repro.core.optimizer.migration import (
+    AllowAllPolicy,
+    MigrationContext,
+    MigrationCostPolicy,
+)
+from repro.core.optimizer.pac import PACConfig, build_plan_from_mapping, pac
+from repro.core.optimizer.types import (
+    Migration,
+    PlacementPlan,
+    PlacementProblem,
+    ServerInfo,
+    VMInfo,
+)
+from repro.util.validation import check_in_range
+
+__all__ = ["IPACConfig", "ipac"]
+
+
+@dataclass(frozen=True)
+class IPACConfig:
+    """IPAC tuning.
+
+    ``overload_utilization`` is the fraction of maximum capacity above
+    which a server counts as overloaded (1.0 = literally unable to host
+    its VMs); evictions stop once the server is back under
+    ``pac.target_utilization``.  ``max_drain_rounds`` bounds the drain
+    loop (None = number of servers).
+    """
+
+    pac: PACConfig = field(default_factory=PACConfig)
+    overload_utilization: float = 1.0
+    max_drain_rounds: Optional[int] = None
+    cost_policy: Optional[MigrationCostPolicy] = None
+    migration_model: LiveMigrationModel = field(default_factory=LiveMigrationModel)
+
+    def __post_init__(self):
+        check_in_range("overload_utilization", self.overload_utilization, 0.1, 1.0)
+        if self.max_drain_rounds is not None and self.max_drain_rounds < 0:
+            raise ValueError(
+                f"max_drain_rounds must be >= 0, got {self.max_drain_rounds}"
+            )
+
+
+def _hosting_servers(mapping: Dict[str, str]) -> Set[str]:
+    return set(mapping.values())
+
+
+def _estimate_power_w(problem: PlacementProblem, mapping: Dict[str, str]) -> float:
+    """Steady-state power estimate of a candidate mapping (hosting
+    servers only; non-hosting servers sleep at the end of the plan, and
+    their constant sleep draw cancels out of any comparison)."""
+    from repro.core.optimizer.exhaustive import placement_power_w
+
+    return placement_power_w(problem, mapping, include_sleepers=False)
+
+
+def _marginal_w_per_ghz(server: ServerInfo) -> float:
+    return (server.busy_w - server.idle_w) / server.max_capacity_ghz
+
+
+def _run_pac(
+    problem: PlacementProblem,
+    mapping: Dict[str, str],
+    vm_ids: List[str],
+    config: PACConfig,
+    exclude_server: Optional[str] = None,
+) -> Tuple[Dict[str, str], List[str]]:
+    """Place *vm_ids* via PAC against *mapping*; return (mapping, unplaced).
+
+    ``exclude_server`` removes one (empty) server from consideration —
+    used when draining, so that a victim tied in efficiency with its
+    peers cannot simply receive its own VMs back.
+    """
+    servers = problem.servers
+    if exclude_server is not None:
+        servers = tuple(s for s in servers if s.server_id != exclude_server)
+    sub = PlacementProblem(servers, problem.vms, mapping)
+    plan = pac(sub, vm_ids, config)
+    return plan.final_mapping, plan.unplaced
+
+
+def ipac(problem: PlacementProblem, config: IPACConfig | None = None) -> PlacementPlan:
+    """One IPAC invocation; returns the placement plan.
+
+    ``plan.info`` carries diagnostics: drain rounds attempted/accepted,
+    number of mandatory (overload) evictions, and migrations rejected by
+    the cost policy.
+    """
+    config = config or IPACConfig()
+    vm_by_id: Dict[str, VMInfo] = {v.vm_id: v for v in problem.vms}
+    server_by_id: Dict[str, ServerInfo] = {s.server_id: s for s in problem.servers}
+    mapping: Dict[str, str] = dict(problem.mapping)
+    unplaced: List[str] = []
+
+    # Never placed yet (e.g. newly arrived applications): mandatory.
+    new_vm_ids = sorted(v.vm_id for v in problem.vms if v.vm_id not in mapping)
+
+    # ---- Phase A: overload relief (mandatory) -------------------------
+    loads: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+    for vm_id, sid in mapping.items():
+        loads[sid] += vm_by_id[vm_id].demand_ghz
+    mandatory_ids: Set[str] = set(new_vm_ids)
+    evictions: List[str] = list(new_vm_ids)
+    for server in problem.servers:
+        sid = server.server_id
+        limit = server.max_capacity_ghz * config.overload_utilization
+        if loads[sid] <= limit + 1e-9:
+            continue
+        target = server.max_capacity_ghz * config.pac.target_utilization
+        hosted = sorted(
+            (vm_id for vm_id, s in mapping.items() if s == sid),
+            key=lambda v: (vm_by_id[v].demand_ghz, v),
+        )
+        for vm_id in hosted:
+            if loads[sid] <= target + 1e-9:
+                break
+            loads[sid] -= vm_by_id[vm_id].demand_ghz
+            del mapping[vm_id]
+            evictions.append(vm_id)
+            mandatory_ids.add(vm_id)
+    if evictions:
+        mapping, failed = _run_pac(problem, mapping, evictions, config.pac)
+        unplaced.extend(failed)
+
+    # ---- Phase B: incremental drain loop ------------------------------
+    drained: Set[str] = set()
+    rounds_attempted = 0
+    rounds_accepted = 0
+    max_rounds = (
+        len(problem.servers) if config.max_drain_rounds is None else config.max_drain_rounds
+    )
+    current_power = _estimate_power_w(problem, mapping)
+    while rounds_attempted < max_rounds:
+        hosting = _hosting_servers(mapping)
+        candidates = sorted(
+            (server_by_id[sid] for sid in hosting if sid not in drained),
+            key=lambda s: (s.efficiency, s.server_id),
+        )
+        if not candidates:
+            break
+        victim = candidates[0]
+        drained.add(victim.server_id)
+        rounds_attempted += 1
+        trial = dict(mapping)
+        drain_ids = sorted(
+            vm_id for vm_id, sid in trial.items() if sid == victim.server_id
+        )
+        for vm_id in drain_ids:
+            del trial[vm_id]
+        trial, failed = _run_pac(
+            problem, trial, drain_ids, config.pac,
+            exclude_server=victim.server_id,
+        )
+        if failed:
+            continue  # could not rehome everything; keep current mapping
+        trial_power = _estimate_power_w(problem, trial)
+        if trial_power < current_power - 1e-9:
+            mapping = trial
+            current_power = trial_power
+            rounds_accepted += 1
+        else:
+            break  # no further improvement: stop (paper's loop condition)
+
+    # ---- Phase C: cost-aware migration filter -------------------------
+    policy = config.cost_policy or AllowAllPolicy()
+    policy.reset()
+    rejected = 0
+    moves: List[Migration] = []
+    for vm in problem.vms:
+        old = problem.mapping.get(vm.vm_id)
+        new = mapping.get(vm.vm_id)
+        if new is not None and new != old:
+            moves.append(Migration(vm.vm_id, old, new))
+    # Mandatory moves first so budget-style policies fund them first.
+    moves.sort(key=lambda m: (m.vm_id not in mandatory_ids, m.vm_id))
+
+    # Per-source drained demand, for sharing out the shutdown benefit.
+    drained_demand: Dict[str, float] = {}
+    final_hosting = _hosting_servers(mapping)
+    for mig in moves:
+        if mig.source_id is not None:
+            drained_demand[mig.source_id] = (
+                drained_demand.get(mig.source_id, 0.0)
+                + vm_by_id[mig.vm_id].demand_ghz
+            )
+
+    loads_after: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+    mem_after: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+    for vm_id, sid in mapping.items():
+        loads_after[sid] += vm_by_id[vm_id].demand_ghz
+        mem_after[sid] += vm_by_id[vm_id].memory_mb
+
+    for mig in moves:
+        mandatory = mig.vm_id in mandatory_ids or mig.source_id is None
+        vm = vm_by_id[mig.vm_id]
+        source = server_by_id.get(mig.source_id) if mig.source_id else None
+        target = server_by_id[mig.target_id]
+        benefit = 0.0
+        if source is not None:
+            benefit = vm.demand_ghz * (
+                _marginal_w_per_ghz(source) - _marginal_w_per_ghz(target)
+            )
+            if source.server_id not in final_hosting:
+                share = vm.demand_ghz / max(drained_demand.get(source.server_id, 0.0), 1e-12)
+                benefit += (source.idle_w - source.sleep_w) * min(share, 1.0)
+        context = MigrationContext(
+            migration=mig,
+            vm=vm,
+            source=source,
+            target=target,
+            estimated_benefit_w=benefit,
+            migration_model=config.migration_model,
+            mandatory=mandatory,
+        )
+        if policy.allow(context):
+            continue
+        # Roll back if the source can still take the VM back.
+        assert mig.source_id is not None  # mandatory moves are never rejected
+        src = server_by_id[mig.source_id]
+        fits_cpu = (
+            loads_after[mig.source_id] + vm.demand_ghz
+            <= src.max_capacity_ghz * config.pac.target_utilization + 1e-9
+        )
+        fits_mem = mem_after[mig.source_id] + vm.memory_mb <= src.memory_mb + 1e-9
+        if fits_cpu and fits_mem:
+            loads_after[mig.target_id] -= vm.demand_ghz
+            mem_after[mig.target_id] -= vm.memory_mb
+            loads_after[mig.source_id] += vm.demand_ghz
+            mem_after[mig.source_id] += vm.memory_mb
+            mapping[mig.vm_id] = mig.source_id
+            rejected += 1
+
+    plan = build_plan_from_mapping(problem, mapping, unplaced)
+    plan.info.update(
+        {
+            "drain_rounds_attempted": float(rounds_attempted),
+            "drain_rounds_accepted": float(rounds_accepted),
+            "overload_evictions": float(len(evictions) - len(new_vm_ids)),
+            "new_placements": float(len(new_vm_ids)),
+            "migrations_rejected": float(rejected),
+        }
+    )
+    return plan

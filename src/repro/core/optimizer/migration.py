@@ -1,0 +1,139 @@
+"""Cost-aware VM migration policies (paper §V, "Cost-aware VM migration").
+
+"When the IPAC algorithm requests a migration, benefits and costs should
+be compared to decide if the migration should be allowed or rejected.
+... the cost function can be highly different for different data
+centers.  As a result, we provide an interface for data center
+administrators to define their own cost functions based on their
+various policies."
+
+That interface is :class:`MigrationCostPolicy`.  Three stock policies
+cover the common cases; administrators subclass for anything else.
+Overload-relief migrations are *mandatory* — every stock policy lets
+them through, since rejecting them would leave an SLA-violating host.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.migration import LiveMigrationModel
+from repro.core.optimizer.types import Migration, ServerInfo, VMInfo
+
+__all__ = [
+    "MigrationContext",
+    "MigrationCostPolicy",
+    "AllowAllPolicy",
+    "BenefitThresholdPolicy",
+    "BandwidthBudgetPolicy",
+]
+
+
+@dataclass(frozen=True)
+class MigrationContext:
+    """Everything a cost function may weigh for one proposed migration.
+
+    ``estimated_benefit_w`` is the optimizer's estimate of steady-state
+    power saved by this move (its share of a server shutdown plus the
+    efficiency delta); ``mandatory`` marks overload-relief moves.
+    """
+
+    migration: Migration
+    vm: VMInfo
+    source: Optional[ServerInfo]
+    target: ServerInfo
+    estimated_benefit_w: float
+    migration_model: LiveMigrationModel
+    mandatory: bool
+
+    @property
+    def cost_duration_s(self) -> float:
+        """Wall-clock duration of the transfer under the network model."""
+        return self.migration_model.duration_s(self.vm.memory_mb)
+
+    @property
+    def cost_traffic_mb(self) -> float:
+        """Megabytes the transfer puts on the migration network."""
+        return self.migration_model.bytes_moved_mb(self.vm.memory_mb)
+
+
+class MigrationCostPolicy(ABC):
+    """Administrator-defined accept/reject decision for each migration."""
+
+    @abstractmethod
+    def allow(self, context: MigrationContext) -> bool:
+        """Return True to execute the migration, False to reject it."""
+
+    def reset(self) -> None:
+        """Called once per optimizer invocation (stateful policies)."""
+
+
+class AllowAllPolicy(MigrationCostPolicy):
+    """Accept every migration (the paper's simulation default)."""
+
+    def allow(self, context: MigrationContext) -> bool:
+        return True
+
+
+class BenefitThresholdPolicy(MigrationCostPolicy):
+    """Accept when estimated energy saved over an amortization horizon
+    exceeds the migration's energy cost by a safety factor.
+
+    The migration itself burns roughly ``overhead_w`` on source + target
+    for its duration; the move pays off when
+    ``benefit_w * horizon_s >= factor * overhead_w * duration_s``.
+    """
+
+    def __init__(
+        self,
+        amortization_horizon_s: float = 4 * 3600.0,
+        overhead_w: float = 30.0,
+        safety_factor: float = 2.0,
+    ):
+        if amortization_horizon_s <= 0:
+            raise ValueError("amortization_horizon_s must be positive")
+        if overhead_w < 0:
+            raise ValueError("overhead_w must be >= 0")
+        if safety_factor <= 0:
+            raise ValueError("safety_factor must be positive")
+        self.amortization_horizon_s = float(amortization_horizon_s)
+        self.overhead_w = float(overhead_w)
+        self.safety_factor = float(safety_factor)
+
+    def allow(self, context: MigrationContext) -> bool:
+        if context.mandatory:
+            return True
+        benefit_j = context.estimated_benefit_w * self.amortization_horizon_s
+        cost_j = self.overhead_w * context.cost_duration_s * self.safety_factor
+        return benefit_j >= cost_j
+
+
+class BandwidthBudgetPolicy(MigrationCostPolicy):
+    """Cap total migration traffic per optimizer invocation.
+
+    Models "network bandwidth is a bottleneck in a data center": once the
+    per-invocation budget is spent, further non-mandatory migrations are
+    rejected.  Migrations are offered in the optimizer's preference
+    order, so the budget goes to the highest-value moves first.
+    """
+
+    def __init__(self, budget_mb_per_invocation: float):
+        if budget_mb_per_invocation <= 0:
+            raise ValueError("budget_mb_per_invocation must be positive")
+        self.budget_mb = float(budget_mb_per_invocation)
+        self._spent_mb = 0.0
+
+    def reset(self) -> None:
+        self._spent_mb = 0.0
+
+    def allow(self, context: MigrationContext) -> bool:
+        traffic = context.cost_traffic_mb
+        if context.mandatory:
+            self._spent_mb += traffic
+            return True
+        if self._spent_mb + traffic > self.budget_mb:
+            return False
+        self._spent_mb += traffic
+        return True

@@ -1,0 +1,133 @@
+"""On-demand overload relief between optimizer invocations (paper §III).
+
+"Between two consecutive invocations of the data center-level optimizer,
+it is possible that an unexpected increase of the workload can cause a
+severe overload on a server.  To deal with this problem, the solution in
+this paper can be integrated with algorithms to move VMs from the
+overloaded servers to idle servers in an on-demand manner.  An example
+of such algorithms can be found in our previous work [25]."
+
+This module implements that integration point: a fast, greedy relief
+pass meant to run at control-period granularity.  Unlike IPAC it never
+*optimizes* — it only evicts the smallest sufficient set of VMs from each
+overloaded server and first-fits them onto hosts with headroom (waking
+sleeping servers only as a last resort), so it is cheap enough to invoke
+every few seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.optimizer.pac import build_plan_from_mapping
+from repro.core.optimizer.types import PlacementPlan, PlacementProblem
+from repro.util.validation import check_in_range
+
+__all__ = ["OnDemandConfig", "relieve_overloads"]
+
+
+@dataclass(frozen=True)
+class OnDemandConfig:
+    """Relief tuning.
+
+    A server is overloaded above ``overload_utilization`` of its maximum
+    capacity; evictions stop once it is back under ``target_utilization``.
+    Receivers are only loaded up to ``receiver_utilization`` so the
+    relief itself does not create the next overload.
+    """
+
+    overload_utilization: float = 1.0
+    target_utilization: float = 0.9
+    receiver_utilization: float = 0.9
+    allow_wake: bool = True
+
+    def __post_init__(self):
+        check_in_range("overload_utilization", self.overload_utilization, 0.1, 1.0)
+        check_in_range("target_utilization", self.target_utilization, 0.1, 1.0)
+        check_in_range("receiver_utilization", self.receiver_utilization, 0.1, 1.0)
+        if self.target_utilization > self.overload_utilization:
+            raise ValueError(
+                "target_utilization must be <= overload_utilization "
+                f"({self.target_utilization} > {self.overload_utilization})"
+            )
+
+
+def relieve_overloads(
+    problem: PlacementProblem, config: OnDemandConfig | None = None
+) -> PlacementPlan:
+    """One greedy relief pass; returns a (possibly empty) plan.
+
+    Evicted VMs go to the *most efficient* active receiver with room
+    (preserving the consolidation objective as far as a greedy pass can),
+    then to woken sleepers in efficiency order.  VMs that fit nowhere
+    stay put and are reported in ``plan.unplaced`` — the signal that the
+    next full IPAC invocation (or more hardware) is needed.
+    """
+    config = config or OnDemandConfig()
+    vm_by_id = {v.vm_id: v for v in problem.vms}
+    mapping: Dict[str, str] = dict(problem.mapping)
+
+    loads: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+    mems: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+    for vm_id, sid in mapping.items():
+        loads[sid] += vm_by_id[vm_id].demand_ghz
+        mems[sid] += vm_by_id[vm_id].memory_mb
+
+    overloaded = [
+        s for s in problem.servers
+        if loads[s.server_id] > s.max_capacity_ghz * config.overload_utilization + 1e-9
+    ]
+    if not overloaded:
+        return build_plan_from_mapping(problem, mapping)
+
+    # Receivers: active hosts first (no wake latency), efficiency-descending;
+    # sleeping servers appended when waking is allowed.
+    hosting = set(mapping.values())
+    overloaded_ids = {s.server_id for s in overloaded}
+    active_receivers = sorted(
+        (s for s in problem.servers
+         if (s.active or s.server_id in hosting) and s.server_id not in overloaded_ids),
+        key=lambda s: (-s.efficiency, s.server_id),
+    )
+    sleeping_receivers = sorted(
+        (s for s in problem.servers
+         if not s.active and s.server_id not in hosting),
+        key=lambda s: (-s.efficiency, s.server_id),
+    ) if config.allow_wake else []
+    receivers = active_receivers + [
+        s for s in sleeping_receivers if s not in active_receivers
+    ]
+
+    unplaced: List[str] = []
+    for server in sorted(overloaded, key=lambda s: s.server_id):
+        sid = server.server_id
+        target = server.max_capacity_ghz * config.target_utilization
+        hosted = sorted(
+            (v for v, host in mapping.items() if host == sid),
+            key=lambda v: (vm_by_id[v].demand_ghz, v),
+        )
+        for vm_id in hosted:
+            if loads[sid] <= target + 1e-9:
+                break
+            vm = vm_by_id[vm_id]
+            placed = False
+            for receiver in receivers:
+                rid = receiver.server_id
+                room = receiver.max_capacity_ghz * config.receiver_utilization - loads[rid]
+                if vm.demand_ghz <= room + 1e-9 and mems[rid] + vm.memory_mb <= receiver.memory_mb + 1e-9:
+                    mapping[vm_id] = rid
+                    loads[sid] -= vm.demand_ghz
+                    mems[sid] -= vm.memory_mb
+                    loads[rid] += vm.demand_ghz
+                    mems[rid] += vm.memory_mb
+                    placed = True
+                    break
+            if not placed:
+                unplaced.append(vm_id)
+
+    plan = build_plan_from_mapping(problem, mapping)
+    plan.unplaced = unplaced
+    # Relief must never sleep servers; it runs on the short time scale.
+    plan.sleep = []
+    return plan

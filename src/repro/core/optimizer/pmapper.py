@@ -1,0 +1,139 @@
+"""pMapper baseline (Verma et al., Middleware 2008), as the paper uses it.
+
+Paper §VII: "PMapper is an incremental algorithm with two phases.  In
+the first phase, it sorts the servers based on their power efficiency,
+then consolidates the VMs to the servers using a first-fit algorithm,
+beginning with the most power efficient server.  Note that in this
+phase, the VMs are not actually migrated.  In the second phase, pMapper
+computes the list of servers that require a higher utilization in the
+new allocation, and labels them as receivers.  For each donor (servers
+with a target utilization lower than the current utilization), it
+selects the smallest-sized applications and adds them to a VM migration
+list.  It then runs first-fit decreasing (FFD) to migrate the VMs in the
+migration list to the receivers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.optimizer.pac import build_plan_from_mapping, sort_servers_by_efficiency
+from repro.core.optimizer.types import PlacementPlan, PlacementProblem, VMInfo
+from repro.util.validation import check_in_range
+
+__all__ = ["PMapperConfig", "pmapper"]
+
+
+@dataclass(frozen=True)
+class PMapperConfig:
+    """pMapper tuning: same packing headroom as PAC for a fair fight."""
+
+    target_utilization: float = 0.95
+
+    def __post_init__(self):
+        check_in_range("target_utilization", self.target_utilization, 0.1, 1.0)
+
+
+def _ffd_assign(
+    vms: List[VMInfo],
+    server_order: List[str],
+    free_cpu: Dict[str, float],
+    free_mem: Dict[str, float],
+) -> Dict[str, str]:
+    """First-fit decreasing over an explicit server order; mutates the
+    free-capacity dicts.  Returns vm_id -> server_id for placed VMs."""
+    placed: Dict[str, str] = {}
+    if not vms or not server_order:
+        return placed
+    cpu = np.asarray([free_cpu[s] for s in server_order])
+    mem = np.asarray([free_mem[s] for s in server_order])
+    order = sorted(range(len(vms)), key=lambda i: (-vms[i].demand_ghz, vms[i].vm_id))
+    eps = 1e-9
+    for i in order:
+        vm = vms[i]
+        ok = (cpu >= vm.demand_ghz - eps) & (mem >= vm.memory_mb - eps)
+        j = int(np.argmax(ok))
+        if not ok[j]:
+            continue
+        cpu[j] -= vm.demand_ghz
+        mem[j] -= vm.memory_mb
+        placed[vm.vm_id] = server_order[j]
+    for j, sid in enumerate(server_order):
+        free_cpu[sid] = float(cpu[j])
+        free_mem[sid] = float(mem[j])
+    return placed
+
+
+def pmapper(problem: PlacementProblem, config: PMapperConfig | None = None) -> PlacementPlan:
+    """One pMapper invocation; returns the placement plan."""
+    config = config or PMapperConfig()
+    vm_by_id = {v.vm_id: v for v in problem.vms}
+    servers = sort_servers_by_efficiency(problem.servers)
+    order = [s.server_id for s in servers]
+    cap_cpu = {
+        s.server_id: s.max_capacity_ghz * config.target_utilization for s in servers
+    }
+    cap_mem = {s.server_id: float(s.memory_mb) for s in servers}
+
+    # ---- Phase 1: virtual FFD of every VM onto efficiency-sorted servers.
+    free_cpu = dict(cap_cpu)
+    free_mem = dict(cap_mem)
+    all_vms = sorted(problem.vms, key=lambda v: v.vm_id)
+    target_mapping = _ffd_assign(list(all_vms), order, free_cpu, free_mem)
+
+    # Per-server target and current loads.
+    target_load: Dict[str, float] = {sid: 0.0 for sid in order}
+    for vm_id, sid in target_mapping.items():
+        target_load[sid] += vm_by_id[vm_id].demand_ghz
+    current_load: Dict[str, float] = {sid: 0.0 for sid in order}
+    current_mem: Dict[str, float] = {sid: 0.0 for sid in order}
+    for vm_id, sid in problem.mapping.items():
+        current_load[sid] += vm_by_id[vm_id].demand_ghz
+        current_mem[sid] += vm_by_id[vm_id].memory_mb
+
+    # ---- Phase 2: donors shed their smallest VMs; FFD onto receivers.
+    eps = 1e-9
+    receivers = [sid for sid in order if target_load[sid] > current_load[sid] + eps]
+    migration_list: List[VMInfo] = []
+    mapping: Dict[str, str] = dict(problem.mapping)
+
+    # VMs that are not placed anywhere yet must move regardless.
+    for vm in all_vms:
+        if vm.vm_id not in mapping:
+            migration_list.append(vm)
+
+    for sid in order:
+        if target_load[sid] >= current_load[sid] - eps:
+            continue  # not a donor
+        hosted = sorted(
+            (vm_id for vm_id, s in mapping.items() if s == sid),
+            key=lambda v: (vm_by_id[v].demand_ghz, v),
+        )
+        load = current_load[sid]
+        for vm_id in hosted:
+            if load <= target_load[sid] + eps:
+                break
+            vm = vm_by_id[vm_id]
+            migration_list.append(vm)
+            del mapping[vm_id]
+            load -= vm.demand_ghz
+            current_mem[sid] -= vm.memory_mb
+        current_load[sid] = load
+
+    recv_free_cpu = {sid: cap_cpu[sid] - current_load[sid] for sid in receivers}
+    recv_free_mem = {sid: cap_mem[sid] - current_mem[sid] for sid in receivers}
+    placed = _ffd_assign(migration_list, receivers, recv_free_cpu, recv_free_mem)
+    unplaced: List[str] = []
+    for vm in migration_list:
+        sid = placed.get(vm.vm_id)
+        if sid is not None:
+            mapping[vm.vm_id] = sid
+        elif vm.vm_id in problem.mapping:
+            mapping[vm.vm_id] = problem.mapping[vm.vm_id]  # stay put
+        else:
+            unplaced.append(vm.vm_id)
+
+    return build_plan_from_mapping(problem, mapping, unplaced)

@@ -1,0 +1,186 @@
+"""Data types exchanged between the data center and the optimizers.
+
+Optimizers work on immutable *snapshots* (:class:`PlacementProblem`) and
+return *plans* (:class:`PlacementPlan`); only the
+:class:`repro.cluster.datacenter.DataCenter` mutates real state.  This
+separation makes the packing algorithms pure functions — directly
+testable and trivially comparable against baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.datacenter import DataCenter
+
+__all__ = [
+    "VMInfo",
+    "ServerInfo",
+    "PlacementProblem",
+    "Migration",
+    "PlacementPlan",
+    "snapshot_datacenter",
+    "apply_plan",
+]
+
+
+@dataclass(frozen=True)
+class VMInfo:
+    """Optimizer view of a VM: id + resource requirements."""
+
+    vm_id: str
+    demand_ghz: float
+    memory_mb: float
+
+    def __post_init__(self):
+        if self.demand_ghz < 0:
+            raise ValueError(f"demand_ghz must be >= 0, got {self.demand_ghz}")
+        if self.memory_mb < 0:
+            raise ValueError(f"memory_mb must be >= 0, got {self.memory_mb}")
+
+
+@dataclass(frozen=True)
+class ServerInfo:
+    """Optimizer view of a server: capacities, power, and state.
+
+    ``efficiency`` is the paper's sort key — maximum total CPU capacity
+    divided by maximum power consumption (GHz/W).
+    """
+
+    server_id: str
+    max_capacity_ghz: float
+    memory_mb: float
+    efficiency: float
+    active: bool
+    idle_w: float
+    busy_w: float
+    sleep_w: float
+
+    def __post_init__(self):
+        if self.max_capacity_ghz <= 0:
+            raise ValueError(f"max_capacity_ghz must be > 0, got {self.max_capacity_ghz}")
+        if self.efficiency <= 0:
+            raise ValueError(f"efficiency must be > 0, got {self.efficiency}")
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """A read-only snapshot of the placement state.
+
+    ``mapping`` sends each VM id to its current server id (absent =
+    unplaced).  All referenced ids must exist in ``servers`` / ``vms``.
+    """
+
+    servers: Tuple[ServerInfo, ...]
+    vms: Tuple[VMInfo, ...]
+    mapping: Dict[str, str]
+
+    def __post_init__(self):
+        server_ids = {s.server_id for s in self.servers}
+        vm_ids = {v.vm_id for v in self.vms}
+        if len(server_ids) != len(self.servers):
+            raise ValueError("duplicate server ids in problem")
+        if len(vm_ids) != len(self.vms):
+            raise ValueError("duplicate VM ids in problem")
+        for vm_id, sid in self.mapping.items():
+            if vm_id not in vm_ids:
+                raise ValueError(f"mapping references unknown VM {vm_id!r}")
+            if sid not in server_ids:
+                raise ValueError(f"mapping references unknown server {sid!r}")
+
+    def server_by_id(self, server_id: str) -> ServerInfo:
+        """Look up a server snapshot by id."""
+        for s in self.servers:
+            if s.server_id == server_id:
+                return s
+        raise KeyError(f"unknown server id {server_id!r}")
+
+    def vm_by_id(self, vm_id: str) -> VMInfo:
+        """Look up a VM snapshot by id."""
+        for v in self.vms:
+            if v.vm_id == vm_id:
+                return v
+        raise KeyError(f"unknown VM id {vm_id!r}")
+
+    def vms_on(self, server_id: str) -> List[VMInfo]:
+        """VM snapshots currently mapped to *server_id*."""
+        return [v for v in self.vms if self.mapping.get(v.vm_id) == server_id]
+
+    def server_load_ghz(self, server_id: str) -> float:
+        """Total demand currently mapped to *server_id*."""
+        return sum(v.demand_ghz for v in self.vms_on(server_id))
+
+    def server_memory_used_mb(self, server_id: str) -> float:
+        """Total VM memory currently mapped to *server_id*."""
+        return sum(v.memory_mb for v in self.vms_on(server_id))
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One proposed VM move.  ``source_id`` is None for initial placement."""
+
+    vm_id: str
+    source_id: Optional[str]
+    target_id: str
+
+
+@dataclass
+class PlacementPlan:
+    """The optimizer's output: moves plus power-state commands.
+
+    ``final_mapping`` is the complete vm→server mapping after the plan;
+    ``unplaced`` lists VMs no server could host (should be empty when
+    the inactive pool is large enough).
+    """
+
+    migrations: List[Migration] = field(default_factory=list)
+    wake: List[str] = field(default_factory=list)
+    sleep: List[str] = field(default_factory=list)
+    final_mapping: Dict[str, str] = field(default_factory=dict)
+    unplaced: List[str] = field(default_factory=list)
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_moves(self) -> int:
+        """Number of true migrations (existing VMs changing hosts)."""
+        return sum(1 for m in self.migrations if m.source_id is not None)
+
+
+def snapshot_datacenter(dc: DataCenter) -> PlacementProblem:
+    """Build an optimizer snapshot from live data-center state."""
+    servers = tuple(
+        ServerInfo(
+            server_id=s.server_id,
+            max_capacity_ghz=s.spec.max_capacity_ghz,
+            memory_mb=float(s.spec.memory_mb),
+            efficiency=s.spec.power_efficiency,
+            active=s.active,
+            idle_w=s.spec.power.idle_w,
+            busy_w=s.spec.power.busy_w,
+            sleep_w=s.spec.power.sleep_w,
+        )
+        for _, s in sorted(dc.servers.items())
+    )
+    vms = tuple(
+        VMInfo(vm_id=v.vm_id, demand_ghz=v.demand_ghz, memory_mb=float(v.memory_mb))
+        for _, v in sorted(dc.vms.items())
+    )
+    return PlacementProblem(servers=servers, vms=vms, mapping=dc.mapping())
+
+
+def apply_plan(dc: DataCenter, plan: PlacementPlan, time_s: float = 0.0) -> None:
+    """Execute a plan against the live data center.
+
+    Order matters: wake targets first, then move VMs, then sleep the
+    emptied servers — the same sequencing a real orchestrator needs.
+    """
+    for sid in plan.wake:
+        dc.wake_server(sid)
+    for mig in plan.migrations:
+        if mig.source_id is None:
+            dc.place(mig.vm_id, mig.target_id)
+        elif dc.server_of(mig.vm_id) != mig.target_id:
+            dc.migrate(mig.vm_id, mig.target_id, time_s=time_s)
+    for sid in plan.sleep:
+        dc.sleep_server(sid)

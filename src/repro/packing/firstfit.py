@@ -1,0 +1,138 @@
+"""First-fit bin packing with vector (multi-dimensional) sizes.
+
+Sizes and capacities are 1-D NumPy-compatible vectors; an item fits a
+bin when *every* dimension fits.  For this library dimension 0 is CPU
+demand (GHz) and dimension 1 is memory (MB), but the functions are
+agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["first_fit", "first_fit_decreasing", "best_fit_decreasing"]
+
+
+def _as_matrix(rows: Sequence[Sequence[float]], name: str) -> np.ndarray:
+    arr = np.atleast_2d(np.asarray(rows, dtype=float))
+    if arr.size == 0:
+        arr = arr.reshape(0, arr.shape[1] if arr.ndim == 2 and arr.shape[1] else 0)
+    if arr.size and np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    return arr
+
+
+def first_fit(
+    item_sizes: Sequence[Sequence[float]],
+    bin_capacities: Sequence[Sequence[float]],
+    bin_used: Optional[Sequence[Sequence[float]]] = None,
+) -> List[Optional[int]]:
+    """Assign each item (in given order) to the first bin it fits.
+
+    Parameters
+    ----------
+    item_sizes:
+        ``(n_items, d)`` size vectors.
+    bin_capacities:
+        ``(n_bins, d)`` capacity vectors.
+    bin_used:
+        Optional ``(n_bins, d)`` already-consumed capacity (bins may be
+        partially full — the incremental case).
+
+    Returns
+    -------
+    list of assigned bin indices, ``None`` where no bin fits.  Updates
+    nothing in place.
+    """
+    items = _as_matrix(item_sizes, "item_sizes")
+    caps = _as_matrix(bin_capacities, "bin_capacities")
+    if items.size and caps.size and items.shape[1] != caps.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: items {items.shape} vs bins {caps.shape}"
+        )
+    used = (
+        np.zeros_like(caps)
+        if bin_used is None
+        else _as_matrix(bin_used, "bin_used").copy()
+    )
+    if used.shape != caps.shape:
+        raise ValueError(f"bin_used shape {used.shape} != capacities {caps.shape}")
+    out: List[Optional[int]] = []
+    eps = 1e-9
+    n_bins = caps.shape[0]
+    for size in items:
+        placed = None
+        if n_bins:
+            ok = np.all(used + size <= caps + eps, axis=1)
+            first = int(np.argmax(ok))
+            if ok[first]:
+                used[first] += size
+                placed = first
+        out.append(placed)
+    return out
+
+
+def first_fit_decreasing(
+    item_sizes: Sequence[Sequence[float]],
+    bin_capacities: Sequence[Sequence[float]],
+    bin_used: Optional[Sequence[Sequence[float]]] = None,
+    sort_dim: int = 0,
+) -> List[Optional[int]]:
+    """First-fit after sorting items by decreasing size in ``sort_dim``.
+
+    Returns assignments in the *original* item order.
+    """
+    items = _as_matrix(item_sizes, "item_sizes")
+    if items.shape[0] == 0:
+        return []
+    order = np.argsort(-items[:, sort_dim], kind="stable")
+    assigned_sorted = first_fit(items[order], bin_capacities, bin_used)
+    out: List[Optional[int]] = [None] * items.shape[0]
+    for pos, original in enumerate(order):
+        out[int(original)] = assigned_sorted[pos]
+    return out
+
+
+def best_fit_decreasing(
+    item_sizes: Sequence[Sequence[float]],
+    bin_capacities: Sequence[Sequence[float]],
+    bin_used: Optional[Sequence[Sequence[float]]] = None,
+    sort_dim: int = 0,
+) -> List[Optional[int]]:
+    """Best-fit decreasing: each item goes to the feasible bin with the
+    least remaining ``sort_dim`` capacity after placement (tightest fit).
+
+    Returns assignments in the original item order.
+    """
+    items = _as_matrix(item_sizes, "item_sizes")
+    caps = _as_matrix(bin_capacities, "bin_capacities")
+    if items.shape[0] == 0:
+        return []
+    if items.shape[1] != caps.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: items {items.shape} vs bins {caps.shape}"
+        )
+    used = (
+        np.zeros_like(caps)
+        if bin_used is None
+        else _as_matrix(bin_used, "bin_used").copy()
+    )
+    order = np.argsort(-items[:, sort_dim], kind="stable")
+    out: List[Optional[int]] = [None] * items.shape[0]
+    eps = 1e-9
+    n_bins = caps.shape[0]
+    for original in order:
+        size = items[int(original)]
+        if not n_bins:
+            continue
+        ok = np.all(used + size <= caps + eps, axis=1)
+        if not ok.any():
+            continue
+        left = caps[:, sort_dim] - used[:, sort_dim] - size[sort_dim]
+        left[~ok] = np.inf
+        best_bin = int(np.argmin(left))
+        used[best_bin] += size
+        out[int(original)] = best_bin
+    return out

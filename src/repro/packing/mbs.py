@@ -1,0 +1,221 @@
+"""Minimum Bin Slack with a pluggable constraint (paper Algorithm 1).
+
+The classic Minimum-Bin-Slack heuristic (Fleszar & Hindi 2002) searches,
+depth-first over items sorted by decreasing size, for the subset that
+fills one bin as completely as possible.  The paper extends it two ways
+(§V), both implemented here:
+
+* "evaluating a more general constraint in each step, instead of
+  checking if the total size of the items exceeds the size of the bin" —
+  the :class:`PackingConstraint` hook (e.g. a server memory limit);
+* an allowed-slack early exit ``epsilon`` plus a step budget that
+  *escalates* ``epsilon`` when the search runs long (Algorithm 1 lines
+  4-5 and 15-17), bounding worst-case running time.
+
+The search is iterative (explicit stack), so item counts in the
+thousands cannot hit the interpreter recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PackingConstraint", "MemoryConstraint", "CompositeConstraint", "MBSResult", "minimum_bin_slack"]
+
+_FIT_TOL = 1e-9
+
+
+class PackingConstraint:
+    """Incremental feasibility hook for the MBS search.
+
+    ``accepts(idx)`` is queried before item *idx* joins the current
+    selection; ``push``/``pop`` notify the constraint so it can maintain
+    O(1) running state across the depth-first search.
+    The base class accepts everything.
+    """
+
+    def accepts(self, idx: int) -> bool:
+        """Would adding item *idx* keep the constraint satisfied?"""
+        return True
+
+    def push(self, idx: int) -> None:
+        """Item *idx* was added to the selection."""
+
+    def pop(self, idx: int) -> None:
+        """Item *idx* was removed from the selection (backtrack)."""
+
+
+class MemoryConstraint(PackingConstraint):
+    """Total selected memory must not exceed the bin's free memory."""
+
+    def __init__(self, memory_sizes: Sequence[float], memory_capacity: float):
+        self.sizes = np.asarray(memory_sizes, dtype=float)
+        if np.any(self.sizes < 0):
+            raise ValueError("memory sizes must be non-negative")
+        if memory_capacity < 0:
+            raise ValueError(f"memory_capacity must be >= 0, got {memory_capacity}")
+        self.capacity = float(memory_capacity)
+        self.used = 0.0
+
+    def accepts(self, idx: int) -> bool:
+        return self.used + self.sizes[idx] <= self.capacity + _FIT_TOL
+
+    def push(self, idx: int) -> None:
+        self.used += self.sizes[idx]
+
+    def pop(self, idx: int) -> None:
+        self.used -= self.sizes[idx]
+
+
+class CompositeConstraint(PackingConstraint):
+    """Conjunction of several constraints."""
+
+    def __init__(self, constraints: Sequence[PackingConstraint]):
+        self.constraints = list(constraints)
+
+    def accepts(self, idx: int) -> bool:
+        return all(c.accepts(idx) for c in self.constraints)
+
+    def push(self, idx: int) -> None:
+        for c in self.constraints:
+            c.push(idx)
+
+    def pop(self, idx: int) -> None:
+        for c in self.constraints:
+            c.pop(idx)
+
+
+@dataclass(frozen=True)
+class MBSResult:
+    """Outcome of a Minimum-Bin-Slack search.
+
+    ``selected`` are indices into the caller's item list (best subset
+    found); ``slack`` is the unfilled primary capacity it leaves;
+    ``epsilon_used`` is the allowed slack after any escalations;
+    ``early_exit`` reports whether the epsilon threshold (rather than
+    exhaustion of the search space or the hard step cap) ended the run.
+    """
+
+    selected: Tuple[int, ...]
+    slack: float
+    steps: int
+    epsilon_used: float
+    early_exit: bool
+
+
+def minimum_bin_slack(
+    primary_sizes: Sequence[float],
+    capacity: float,
+    constraint: Optional[PackingConstraint] = None,
+    epsilon: float = 0.0,
+    max_steps: int = 20000,
+    epsilon_step: Optional[float] = None,
+    hard_step_cap: Optional[int] = None,
+) -> MBSResult:
+    """Select items minimizing one bin's unfilled primary capacity.
+
+    Parameters
+    ----------
+    primary_sizes:
+        Item sizes in the bin's primary dimension (CPU demand, GHz).
+    capacity:
+        The bin's free primary capacity.
+    constraint:
+        Optional additional feasibility (e.g. memory) — Algorithm 1's
+        generalized per-step check.
+    epsilon:
+        Allowed slack: the search stops as soon as a selection leaves
+        at most this much capacity unused (Algorithm 1 lines 4-5).
+    max_steps:
+        Steps between epsilon escalations (lines 15-17).  Each
+        feasibility evaluation counts as one step.
+    epsilon_step:
+        Escalation increment; defaults to 5% of ``capacity``.
+    hard_step_cap:
+        Absolute step bound (defaults to ``50 * max_steps``); guarantees
+        termination even when escalation alone does not converge.
+    """
+    sizes = np.asarray(primary_sizes, dtype=float)
+    if sizes.ndim != 1:
+        raise ValueError(f"primary_sizes must be 1-D, got shape {sizes.shape}")
+    if np.any(sizes < 0):
+        raise ValueError("primary sizes must be non-negative")
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+    if epsilon_step is None:
+        epsilon_step = 0.05 * capacity if capacity > 0 else 1.0
+    if hard_step_cap is None:
+        hard_step_cap = 50 * max_steps
+
+    n = sizes.shape[0]
+    if capacity <= epsilon + _FIT_TOL:
+        # The empty selection already meets the allowed slack.
+        return MBSResult((), float(capacity), 0, float(epsilon), True)
+    order = sorted(range(n), key=lambda i: -sizes[i])
+    best_sel: Tuple[int, ...] = ()
+    best_slack = float(capacity)
+    steps = 0
+    eps_current = float(epsilon)
+    early = False
+
+    path: List[int] = []
+    used = 0.0
+    # pos_stack[d] = next order-position to try at depth d.
+    pos_stack: List[int] = [0]
+
+    while pos_stack:
+        pos = pos_stack[-1]
+        taken = None
+        while pos < n:
+            idx = order[pos]
+            pos += 1
+            steps += 1
+            if steps % max_steps == 0:
+                eps_current += epsilon_step  # escalate (Algorithm 1 line 16)
+            if used + sizes[idx] > capacity + _FIT_TOL:
+                continue
+            if constraint is not None and not constraint.accepts(idx):
+                continue
+            taken = idx
+            break
+        pos_stack[-1] = pos
+        if taken is not None:
+            path.append(taken)
+            used += sizes[taken]
+            if constraint is not None:
+                constraint.push(taken)
+            slack = capacity - used
+            if slack < best_slack - _FIT_TOL:
+                best_slack = slack
+                best_sel = tuple(path)
+            if best_slack <= eps_current + _FIT_TOL or steps >= hard_step_cap:
+                early = best_slack <= eps_current + _FIT_TOL
+                break
+            pos_stack.append(pos)
+        else:
+            pos_stack.pop()
+            if path:
+                last = path.pop()
+                used -= sizes[last]
+                if constraint is not None:
+                    constraint.pop(last)
+
+    # Unwind constraint state so the object can be reused by the caller.
+    if constraint is not None:
+        while path:
+            constraint.pop(path.pop())
+
+    return MBSResult(
+        selected=best_sel,
+        slack=float(best_slack),
+        steps=steps,
+        epsilon_used=eps_current,
+        early_exit=early,
+    )

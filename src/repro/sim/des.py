@@ -1,0 +1,455 @@
+"""A small discrete-event simulation kernel.
+
+This is the substrate under the request-level application simulator
+(:mod:`repro.apps.rubbos`).  It provides:
+
+* :class:`Simulator` — a monotonic clock plus a binary-heap event queue
+  with cancellable handles and deterministic FIFO tie-breaking.
+* :class:`SimEvent` — a one-shot event that processes can wait on.
+* generator-based *processes* (``yield delay`` / ``yield SimEvent``),
+  a miniature version of the SimPy model, for writing sequential logic
+  such as closed-loop clients.
+* :class:`PSResource` — an egalitarian processor-sharing queue whose
+  service capacity (in GHz) can change at runtime; this models a VM's
+  CPU under Xen-style credit caps.
+* :class:`FCFSResource` — a single-server first-come-first-served queue,
+  used for validation against M/M/1 theory.
+
+Design notes
+------------
+The kernel is intentionally allocation-light: events are slotted objects
+and the heap stores ``(time, seq, handle)`` tuples so ordering never
+compares callbacks.  Cancelled events stay in the heap and are skipped on
+pop (lazy deletion), which is O(1) per cancel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimEvent",
+    "Process",
+    "PSResource",
+    "FCFSResource",
+]
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled callback."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it; idempotent."""
+        self.cancelled = True
+
+
+class SimEvent:
+    """A one-shot event that callbacks and processes can wait on.
+
+    ``succeed(value)`` fires all registered callbacks exactly once; late
+    subscribers fire immediately with the stored value.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: List[Callable] = []
+        self.triggered = False
+        self.value = None
+
+    def on_success(self, fn: Callable) -> None:
+        """Register ``fn(value)``; fires now if already triggered."""
+        if self.triggered:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value=None) -> None:
+        """Trigger the event, delivering *value* to all waiters."""
+        if self.triggered:
+            raise RuntimeError("SimEvent already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+
+class Process:
+    """A generator-driven sequential activity.
+
+    The generator may ``yield`` a non-negative float (sleep that many
+    simulated seconds) or a :class:`SimEvent` (resume when it fires; the
+    event's value is sent back into the generator).  ``finished`` is a
+    :class:`SimEvent` that fires with the generator's return value.
+    """
+
+    __slots__ = ("sim", "gen", "finished", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: Generator):
+        self.sim = sim
+        self.gen = gen
+        self.finished = SimEvent(sim)
+        self._alive = True
+        self._step(None)
+
+    def _step(self, send_value) -> None:
+        if not self._alive:
+            return
+        try:
+            target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.finished.succeed(stop.value)
+            return
+        if isinstance(target, SimEvent):
+            target.on_success(self._step)
+        else:
+            delay = float(target)
+            if delay < 0 or not math.isfinite(delay):
+                self._alive = False
+                raise ValueError(f"process yielded invalid delay {target!r}")
+            self.sim.schedule(delay, self._step, None)
+
+    def interrupt(self) -> None:
+        """Stop the process; its ``finished`` event never fires."""
+        self._alive = False
+        self.gen.close()
+
+
+class Simulator:
+    """Event queue + clock.  Times are floats in simulated seconds."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._seq = 0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable, *args) -> EventHandle:
+        """Run ``fn(*args)`` after *delay* seconds; returns a handle."""
+        if delay < 0 or not math.isfinite(delay):
+            raise ValueError(f"delay must be finite and >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated *time*."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def event(self) -> SimEvent:
+        """Create a fresh :class:`SimEvent` bound to this simulator."""
+        return SimEvent(self)
+
+    def process(self, gen: Generator) -> Process:
+        """Launch a generator as a :class:`Process` (starts immediately)."""
+        return Process(self, gen)
+
+    def timeout(self, delay: float) -> SimEvent:
+        """An event that fires ``delay`` seconds from now."""
+        ev = self.event()
+        self.schedule(delay, ev.succeed, None)
+        return ev
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else math.inf
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue is empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run_until(self, until: float) -> None:
+        """Process all events with time <= *until*, then set now=*until*.
+
+        Advancing the clock to exactly *until* even when the last event is
+        earlier makes fixed control periods line up across components.
+        """
+        if until < self._now:
+            raise ValueError(f"cannot run backwards to {until} from {self._now}")
+        while True:
+            nxt = self.peek()
+            if nxt > until:
+                break
+            self.step()
+        self._now = until
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event queue, optionally stopping at *until*."""
+        if until is not None:
+            self.run_until(until)
+            return
+        while self.step():
+            pass
+
+
+class _PSJob:
+    __slots__ = ("job_id", "remaining", "done_event", "arrival_time")
+
+    def __init__(self, job_id: int, remaining: float, done_event: SimEvent, arrival_time: float):
+        self.job_id = job_id
+        self.remaining = remaining  # remaining work in GHz-seconds (gigacycles)
+        self.done_event = done_event
+        self.arrival_time = arrival_time
+
+
+class PSResource:
+    """Egalitarian processor-sharing server with adjustable capacity.
+
+    Work is denominated in **GHz-seconds** (billions of CPU cycles): a
+    job of size ``w`` on an otherwise-idle resource with capacity ``c``
+    GHz finishes after ``w / c`` seconds; with ``n`` jobs present each
+    progresses at ``c / n`` GHz.  This is the standard fluid model of a
+    CPU time-shared among request handlers, and capacity maps directly
+    onto the paper's GHz-denominated VM allocations.
+
+    The resource also integrates *busy time* and *work done*, which the
+    cluster layer uses to compute utilization for DVFS and power models.
+    """
+
+    __slots__ = (
+        "sim",
+        "_capacity",
+        "_jobs",
+        "_next_id",
+        "_completion",
+        "_last_update",
+        "busy_time",
+        "work_done",
+        "completed_jobs",
+    )
+
+    def __init__(self, sim: Simulator, capacity_ghz: float):
+        if capacity_ghz < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_ghz}")
+        self.sim = sim
+        self._capacity = float(capacity_ghz)
+        self._jobs: Dict[int, _PSJob] = {}
+        self._next_id = 0
+        self._completion: Optional[EventHandle] = None
+        self._last_update = sim.now
+        self.busy_time = 0.0  # seconds with >=1 job present
+        self.work_done = 0.0  # GHz-seconds actually processed
+        self.completed_jobs = 0
+
+    @property
+    def capacity_ghz(self) -> float:
+        """Current service capacity in GHz."""
+        return self._capacity
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs currently in service."""
+        return len(self._jobs)
+
+    def set_capacity(self, capacity_ghz: float) -> None:
+        """Change capacity; in-flight jobs keep their remaining work."""
+        if capacity_ghz < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_ghz}")
+        self._advance()
+        self._capacity = float(capacity_ghz)
+        self._reschedule()
+
+    def submit(self, work_ghz_seconds: float) -> SimEvent:
+        """Add a job of the given size; returns its completion event."""
+        if work_ghz_seconds <= 0 or not math.isfinite(work_ghz_seconds):
+            raise ValueError(f"work must be finite and > 0, got {work_ghz_seconds}")
+        self._advance()
+        self._next_id += 1
+        ev = self.sim.event()
+        job = _PSJob(self._next_id, float(work_ghz_seconds), ev, self.sim.now)
+        self._jobs[job.job_id] = job
+        self._reschedule()
+        return ev
+
+    def reset_counters(self) -> None:
+        """Zero the busy-time / work-done integrals (per-period stats)."""
+        self._advance()
+        self.busy_time = 0.0
+        self.work_done = 0.0
+        self.completed_jobs = 0
+
+    # -- internal machinery ------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account for processing between the last update and now."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._jobs:
+            return
+        n = len(self._jobs)
+        rate = self._capacity / n
+        self.busy_time += dt
+        self.work_done += self._capacity * dt
+        eps = 1e-12
+        finished: List[_PSJob] = []
+        for job in self._jobs.values():
+            job.remaining -= rate * dt
+            if job.remaining <= eps:
+                finished.append(job)
+        for job in finished:
+            del self._jobs[job.job_id]
+            self.completed_jobs += 1
+            job.done_event.succeed(now - job.arrival_time)
+
+    def _reschedule(self) -> None:
+        """(Re)book the next completion event from current state."""
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        if not self._jobs or self._capacity <= 0:
+            return
+        n = len(self._jobs)
+        min_remaining = min(job.remaining for job in self._jobs.values())
+        delay = max(min_remaining, 0.0) * n / self._capacity
+        self._completion = self.sim.schedule(delay, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion = None
+        self._advance()
+        self._reschedule()
+
+
+class _FCFSJob:
+    __slots__ = ("work", "done_event", "arrival_time")
+
+    def __init__(self, work: float, done_event: SimEvent, arrival_time: float):
+        self.work = work
+        self.done_event = done_event
+        self.arrival_time = arrival_time
+
+
+class FCFSResource:
+    """Single-server first-come-first-served queue (work in GHz-seconds).
+
+    A capacity change takes effect immediately, including for the job in
+    service (its remaining work is served at the new rate).
+    """
+
+    __slots__ = (
+        "sim",
+        "_capacity",
+        "_queue",
+        "_current",
+        "_current_remaining",
+        "_completion",
+        "_last_update",
+        "busy_time",
+        "work_done",
+        "completed_jobs",
+    )
+
+    def __init__(self, sim: Simulator, capacity_ghz: float):
+        if capacity_ghz < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_ghz}")
+        self.sim = sim
+        self._capacity = float(capacity_ghz)
+        self._queue: List[_FCFSJob] = []
+        self._current: Optional[_FCFSJob] = None
+        self._current_remaining = 0.0
+        self._completion: Optional[EventHandle] = None
+        self._last_update = sim.now
+        self.busy_time = 0.0
+        self.work_done = 0.0
+        self.completed_jobs = 0
+
+    @property
+    def capacity_ghz(self) -> float:
+        """Current service capacity in GHz."""
+        return self._capacity
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting plus the one in service."""
+        return len(self._queue) + (1 if self._current is not None else 0)
+
+    def set_capacity(self, capacity_ghz: float) -> None:
+        """Change the service rate, affecting the in-service job too."""
+        if capacity_ghz < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_ghz}")
+        self._advance()
+        self._capacity = float(capacity_ghz)
+        self._reschedule()
+
+    def submit(self, work_ghz_seconds: float) -> SimEvent:
+        """Enqueue a job; returns its completion event (value = sojourn)."""
+        if work_ghz_seconds <= 0 or not math.isfinite(work_ghz_seconds):
+            raise ValueError(f"work must be finite and > 0, got {work_ghz_seconds}")
+        self._advance()
+        ev = self.sim.event()
+        job = _FCFSJob(float(work_ghz_seconds), ev, self.sim.now)
+        self._queue.append(job)
+        if self._current is None:
+            self._start_next()
+        return ev
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or self._current is None:
+            return
+        self.busy_time += dt
+        processed = self._capacity * dt
+        self.work_done += processed
+        self._current_remaining -= processed
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        self._current = self._queue.pop(0)
+        self._current_remaining = self._current.work
+        self._reschedule()
+
+    def _reschedule(self) -> None:
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        if self._current is None or self._capacity <= 0:
+            return
+        delay = max(self._current_remaining, 0.0) / self._capacity
+        self._completion = self.sim.schedule(delay, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion = None
+        self._advance()
+        job = self._current
+        self._current = None
+        if job is not None:
+            self.completed_jobs += 1
+            job.done_event.succeed(self.sim.now - job.arrival_time)
+        self._start_next()

@@ -1,0 +1,125 @@
+"""Metrics containers shared by the testbed and large-scale simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PeriodStats:
+    """Measurements from one control period of one application.
+
+    Attributes
+    ----------
+    rt_p90_ms:
+        Empirical 90-percentile response time over the period (ms).
+        ``nan`` when no request completed.
+    rt_mean_ms:
+        Mean response time over the period (ms); ``nan`` when empty.
+    completed:
+        Number of requests that completed during the period.
+    throughput_rps:
+        Completions per second.
+    utilizations:
+        Per-tier busy fraction of the *allocated* capacity in [0, 1].
+    rt_p50_ms / rt_max_ms:
+        Median and maximum response times — the alternative SLA metrics
+        the paper's §III mentions ("average or maximum response times").
+    """
+
+    rt_p90_ms: float
+    rt_mean_ms: float
+    completed: int
+    throughput_rps: float
+    utilizations: tuple
+    rt_p50_ms: float = float("nan")
+    rt_max_ms: float = float("nan")
+
+    def metric(self, name: str) -> float:
+        """Look up an SLA metric by short name: p90, p50, mean, or max."""
+        try:
+            return {
+                "p90": self.rt_p90_ms,
+                "p50": self.rt_p50_ms,
+                "mean": self.rt_mean_ms,
+                "max": self.rt_max_ms,
+            }[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown SLA metric {name!r}; pick p90, p50, mean, or max"
+            ) from None
+
+
+class SeriesRecorder:
+    """Append-only named time series with NumPy export.
+
+    One recorder per experiment run; benches read the arrays back to
+    print the figure series.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[float]] = {}
+        self._times: Dict[str, List[float]] = {}
+
+    def record(self, name: str, time_s: float, value: float) -> None:
+        """Append ``(time_s, value)`` to series *name*."""
+        self._series.setdefault(name, []).append(float(value))
+        self._times.setdefault(name, []).append(float(time_s))
+
+    def names(self) -> Sequence[str]:
+        """Names of all recorded series, insertion-ordered."""
+        return list(self._series.keys())
+
+    def values(self, name: str) -> np.ndarray:
+        """Values of series *name* as a float array."""
+        return np.asarray(self._series.get(name, []), dtype=float)
+
+    def times(self, name: str) -> np.ndarray:
+        """Timestamps of series *name* as a float array."""
+        return np.asarray(self._times.get(name, []), dtype=float)
+
+    def last(self, name: str, default: float = float("nan")) -> float:
+        """Most recent value of series *name* (or *default*)."""
+        vals = self._series.get(name)
+        return vals[-1] if vals else default
+
+    def summary(self, name: str) -> dict:
+        """Mean / std / min / max summary of a series (NaNs ignored)."""
+        vals = self.values(name)
+        finite = vals[np.isfinite(vals)]
+        if finite.size == 0:
+            return {"mean": np.nan, "std": np.nan, "min": np.nan, "max": np.nan, "n": 0}
+        return {
+            "mean": float(finite.mean()),
+            "std": float(finite.std(ddof=0)),
+            "min": float(finite.min()),
+            "max": float(finite.max()),
+            "n": int(finite.size),
+        }
+
+
+@dataclass
+class EnergyMeter:
+    """Integrates power (W) samples over time into energy (Wh)."""
+
+    energy_wh: float = 0.0
+    _samples: List[float] = field(default_factory=list)
+
+    def add_interval(self, power_w: float, duration_s: float) -> None:
+        """Accumulate ``power_w`` held for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        if power_w < 0:
+            raise ValueError(f"power must be >= 0, got {power_w}")
+        self.energy_wh += power_w * duration_s / 3600.0
+        self._samples.append(float(power_w))
+
+    @property
+    def mean_power_w(self) -> float:
+        """Mean of the recorded power samples (W); NaN when empty."""
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(self._samples))

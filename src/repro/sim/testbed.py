@@ -1,0 +1,309 @@
+"""Simulated reproduction of the paper's 4-server hardware testbed (§VI-A).
+
+Eight two-tier RUBBoS-like applications (16 VMs) run on four identical
+Xen-class servers, four VMs per server.  Each application has a
+response-time MPC controller; each server has a CPU arbitrator with
+DVFS.  Figures 2-5 of the paper are produced by driving this testbed
+with different workloads and set points.
+
+The flow per control period:
+
+1. every application's plant simulates one period under its current
+   allocations and reports the measured 90-percentile response time;
+2. the :class:`~repro.core.manager.PowerManager` runs the controllers
+   (new demands), the arbitrators (DVFS + grants), and pushes the
+   granted allocations back into the plants;
+3. cluster power is computed from each server's chosen frequency and the
+   CPU its VMs actually consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.rubbos import AppSpec, MultiTierApp
+from repro.apps.workload import ConcurrencySchedule, ConstantWorkload
+from repro.cluster.application import Application
+from repro.cluster.catalog import TESTBED_SERVER
+from repro.cluster.datacenter import DataCenter
+from repro.cluster.server import Server
+from repro.cluster.vm import VM
+from repro.control.arx import ARXModel
+from repro.core.controller.response_time_controller import (
+    ControllerConfig,
+    ResponseTimeController,
+)
+from repro.core.manager import PowerManager, PowerManagerConfig
+from repro.sim.metrics import SeriesRecorder
+from repro.sysid.experiment import run_identification_experiment
+from repro.sysid.fit import fit_arx
+from repro.util.rng import RngLike, ensure_rng, spawn_rngs
+from repro.util.validation import check_positive
+
+__all__ = ["TestbedConfig", "TestbedResult", "TestbedExperiment"]
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Configuration of one testbed experiment run.
+
+    (``__test__`` is cleared because pytest would otherwise try to
+    collect the Test*-prefixed name.)
+
+    ``workloads`` / ``setpoints_ms`` override individual applications
+    (key = app index 0..n_apps-1); unspecified apps get the defaults.
+    ``controlled=False`` disables the response-time controllers (static
+    allocations), the uncontrolled baseline of Fig. 3.
+
+    ``optimize_at_s`` lists simulated times at which the data-center
+    power optimizer (IPAC) is invoked on the testbed — the paper's
+    integrated two-level solution: VMs consolidate onto fewer servers,
+    the rest sleep, and the response-time controllers keep tracking
+    throughout.
+    """
+
+    __test__ = False
+
+    n_servers: int = 4
+    n_apps: int = 8
+    setpoint_ms: float = 1000.0
+    concurrency: int = 40
+    control_period_s: float = 15.0
+    duration_s: float = 600.0
+    warmup_s: float = 90.0
+    controlled: bool = True
+    initial_alloc_ghz: float = 1.0
+    min_alloc_ghz: float = 0.2
+    max_alloc_ghz: float = 3.0
+    sla_metric: str = "p90"
+    demand_scale_range: tuple = (1.0, 1.0)
+    sysid_periods: int = 200
+    sysid_alloc_range: tuple = (0.45, 0.9)
+    workloads: Dict[int, ConcurrencySchedule] = field(default_factory=dict)
+    setpoints_ms: Dict[int, float] = field(default_factory=dict)
+    optimize_at_s: tuple = ()
+    seed: int = 2010
+
+    def __post_init__(self):
+        if self.n_servers < 1 or self.n_apps < 1:
+            raise ValueError("need at least one server and one application")
+        check_positive("duration_s", self.duration_s)
+        check_positive("control_period_s", self.control_period_s)
+        if 2 * self.n_apps < self.n_servers:
+            raise ValueError("not enough VMs to occupy every server")
+        if self.sla_metric not in ("p90", "p50", "mean", "max"):
+            raise ValueError(
+                f"sla_metric must be p90/p50/mean/max, got {self.sla_metric!r}"
+            )
+        lo, hi = self.demand_scale_range
+        if not 0 < lo <= hi:
+            raise ValueError(
+                f"demand_scale_range must satisfy 0 < lo <= hi, got {self.demand_scale_range}"
+            )
+
+
+@dataclass
+class TestbedResult:
+    """Recorded series plus per-app summaries from one run.
+
+    Series names: ``rt/app{i}`` (ms), ``alloc/app{i}/tier{j}`` (GHz),
+    ``power/total`` (W), ``freq/{server}`` (GHz).
+    """
+
+    __test__ = False
+
+    recorder: SeriesRecorder
+    model: ARXModel
+    sysid_r2: float
+
+    def rt_summary(self, app_index: int) -> dict:
+        """Mean/std/min/max of an app's measured response times."""
+        return self.recorder.summary(f"rt/app{app_index}")
+
+    def power_summary(self) -> dict:
+        """Mean/std/min/max of total cluster power."""
+        return self.recorder.summary("power/total")
+
+
+class TestbedExperiment:
+    """Builds and runs the simulated testbed."""
+
+    __test__ = False  # not a pytest test class despite the Test* name
+
+    def __init__(self, config: TestbedConfig | None = None, model: Optional[ARXModel] = None):
+        self.config = config or TestbedConfig()
+        self._shared_model = model
+        self._sysid_r2 = float("nan")
+
+    # -- construction -------------------------------------------------
+
+    def identify_model(self, rng: RngLike = None) -> ARXModel:
+        """Run the paper's system-identification step on a standalone
+        instance of the application (§IV-B) and cache the ARX model.
+
+        All eight controllers share this single identified model; Figs. 4
+        and 5 then demonstrate robustness to operating conditions the
+        identification never saw.
+        """
+        if self._shared_model is not None:
+            return self._shared_model
+        cfg = self.config
+        rng = ensure_rng(rng if rng is not None else cfg.seed + 999)
+        app = MultiTierApp(
+            AppSpec.rubbos(max_alloc_ghz=cfg.max_alloc_ghz),
+            [cfg.initial_alloc_ghz] * 2,
+            concurrency=cfg.concurrency,
+            rng=rng,
+        )
+        lo, hi = cfg.sysid_alloc_range
+        data = run_identification_experiment(
+            app,
+            n_periods=cfg.sysid_periods,
+            period_s=cfg.control_period_s,
+            alloc_lower=[lo] * 2,
+            alloc_upper=[hi] * 2,
+            rng=rng,
+            metric=cfg.sla_metric,
+        )
+        fit = fit_arx(data.t, data.c, na=1, nb=2)
+        self._shared_model = fit.model
+        self._sysid_r2 = fit.r_squared
+        return fit.model
+
+    def build(self, rng: RngLike = None):
+        """Instantiate data center, plants, manager, and controllers."""
+        cfg = self.config
+        master = ensure_rng(rng if rng is not None else cfg.seed)
+        app_rngs = spawn_rngs(master, cfg.n_apps)
+        model = self.identify_model()
+
+        dc = DataCenter()
+        for s in range(cfg.n_servers):
+            dc.add_server(Server(f"T{s}", TESTBED_SERVER, active=True))
+        manager = PowerManager(
+            dc,
+            PowerManagerConfig(control_period_s=cfg.control_period_s),
+        )
+        plants: List[MultiTierApp] = []
+        scale_lo, scale_hi = cfg.demand_scale_range
+        for i in range(cfg.n_apps):
+            # Optional heterogeneity: each app's per-request CPU demands
+            # are scaled by a per-app factor (real tenants differ; the
+            # shared identified model must still control all of them).
+            scale = float(app_rngs[i].uniform(scale_lo, scale_hi))
+            spec = AppSpec.rubbos(
+                name=f"app{i}",
+                web_demand_ghz_s=0.020 * scale,
+                db_demand_ghz_s=0.015 * scale,
+                max_alloc_ghz=cfg.max_alloc_ghz,
+            )
+            spec = replace(
+                spec,
+                tiers=tuple(
+                    replace(t, min_alloc_ghz=cfg.min_alloc_ghz) for t in spec.tiers
+                ),
+            )
+            workload = cfg.workloads.get(i, ConstantWorkload(cfg.concurrency))
+            plant = MultiTierApp(
+                spec,
+                [cfg.initial_alloc_ghz] * 2,
+                concurrency=workload.level(0.0),
+                rng=app_rngs[i],
+            )
+            plants.append(plant)
+            vm_ids = [f"app{i}-web", f"app{i}-db"]
+            for j, vm_id in enumerate(vm_ids):
+                dc.add_vm(
+                    VM(vm_id, app_id=f"app{i}", tier_index=j, memory_mb=1024,
+                       demand_ghz=cfg.initial_alloc_ghz)
+                )
+                # Tiers spread round-robin: four VMs per server.
+                dc.place(vm_id, f"T{(2 * i + j) % cfg.n_servers}")
+            setpoint = cfg.setpoints_ms.get(i, cfg.setpoint_ms)
+            dc.add_application(
+                Application(f"app{i}", vm_ids, plant=plant, rt_setpoint_ms=setpoint)
+            )
+            if cfg.controlled:
+                controller = ResponseTimeController(
+                    model,
+                    ControllerConfig(
+                        setpoint_ms=setpoint,
+                        period_s=cfg.control_period_s,
+                    ),
+                    c_min=[cfg.min_alloc_ghz] * 2,
+                    c_max=[cfg.max_alloc_ghz] * 2,
+                    initial_alloc_ghz=[cfg.initial_alloc_ghz] * 2,
+                )
+                manager.register_controller(f"app{i}", controller)
+        return dc, manager, plants
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, rng: RngLike = None) -> TestbedResult:
+        """Run the experiment and return the recorded series."""
+        cfg = self.config
+        dc, manager, plants = self.build(rng)
+        recorder = SeriesRecorder()
+        workloads = {
+            i: cfg.workloads.get(i, ConstantWorkload(cfg.concurrency))
+            for i in range(cfg.n_apps)
+        }
+
+        for plant in plants:
+            plant.warmup(cfg.warmup_s)
+
+        optimize_times = sorted(float(t) for t in cfg.optimize_at_s)
+        n_periods = int(round(cfg.duration_s / cfg.control_period_s))
+        for k in range(n_periods):
+            now = k * cfg.control_period_s
+            # 0. Long-time-scale optimizer invocations (integrated mode).
+            while optimize_times and optimize_times[0] <= now:
+                optimize_times.pop(0)
+                plan = manager.optimize(time_s=now)
+                recorder.record("optimizer/moves", now, plan.n_moves)
+                recorder.record(
+                    "optimizer/active_servers", now, len(dc.active_servers())
+                )
+            # 1. Workload schedules take effect at period boundaries.
+            for i, plant in enumerate(plants):
+                level = workloads[i].level(now)
+                if level != plant.concurrency:
+                    plant.set_concurrency(level)
+            # 2. Plants run the period under current allocations.
+            measurements: Dict[str, float] = {}
+            usages: Dict[str, np.ndarray] = {}
+            used_by_server: Dict[str, float] = {s: 0.0 for s in dc.servers}
+            for i, plant in enumerate(plants):
+                stats = plant.run_period(cfg.control_period_s)
+                measurement = stats.metric(cfg.sla_metric)
+                measurements[f"app{i}"] = measurement
+                recorder.record(f"rt/app{i}", now, measurement)
+                used = plant.used_ghz(cfg.control_period_s)
+                usages[f"app{i}"] = used
+                app = dc.applications[f"app{i}"]
+                for j, vm_id in enumerate(app.vm_ids):
+                    sid = dc.server_of(vm_id)
+                    used_by_server[sid] += float(used[j])
+            # 3. Power with the frequencies in effect during this period.
+            total_power = sum(
+                server.power_w(used_by_server[sid])
+                for sid, server in dc.servers.items()
+            )
+            recorder.record("power/total", now, total_power)
+            for sid, server in dc.servers.items():
+                recorder.record(f"freq/{sid}", now, server.freq_ghz)
+            # 4. Controllers + arbitrators set next period's allocations.
+            if cfg.controlled:
+                step = manager.control_step(measurements, used_ghz=usages)
+                for i in range(cfg.n_apps):
+                    granted = step.granted_ghz[f"app{i}"]
+                    for j in range(2):
+                        recorder.record(f"alloc/app{i}/tier{j}", now, granted[j])
+        return TestbedResult(
+            recorder=recorder,
+            model=self._shared_model,
+            sysid_r2=self._sysid_r2,
+        )

@@ -1,0 +1,94 @@
+"""Excitation-signal design for identification experiments.
+
+Good identification data must be *persistently exciting*: the inputs
+(CPU allocations) have to move enough, across enough frequencies, for
+least squares to separate the coefficients.  The workhorses here are the
+pseudo-random binary sequence (PRBS) and its amplitude-modulated variant
+(APRBS), the standard choices for identifying mildly nonlinear plants
+around an operating region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["prbs", "aprbs", "excitation_trajectory"]
+
+
+def prbs(n: int, rng: RngLike = None, hold: int = 1) -> np.ndarray:
+    """Pseudo-random binary sequence of +/-1 with a per-symbol hold.
+
+    ``hold`` repeats each random symbol that many samples, shifting the
+    excitation energy toward lower frequencies (useful when the plant's
+    dominant time constant spans several control periods).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if hold < 1:
+        raise ValueError(f"hold must be >= 1, got {hold}")
+    generator = ensure_rng(rng)
+    n_symbols = -(-n // hold)
+    symbols = generator.choice([-1.0, 1.0], size=n_symbols)
+    return np.repeat(symbols, hold)[:n]
+
+
+def aprbs(
+    n: int,
+    low: float,
+    high: float,
+    rng: RngLike = None,
+    min_hold: int = 1,
+    max_hold: int = 4,
+) -> np.ndarray:
+    """Amplitude-modulated PRBS: random levels in [low, high], random holds.
+
+    Each segment holds a uniformly drawn level for a uniformly drawn
+    number of samples in ``[min_hold, max_hold]``.  Richer amplitude
+    content than binary PRBS, which matters for plants (like queueing
+    systems) whose gain varies with the operating point.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    if not 1 <= min_hold <= max_hold:
+        raise ValueError(f"need 1 <= min_hold <= max_hold, got {min_hold}, {max_hold}")
+    generator = ensure_rng(rng)
+    out = np.empty(n)
+    i = 0
+    while i < n:
+        level = generator.uniform(low, high)
+        hold = int(generator.integers(min_hold, max_hold + 1))
+        out[i : i + hold] = level
+        i += hold
+    return out
+
+
+def excitation_trajectory(
+    n_periods: int,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    rng: RngLike = None,
+    min_hold: int = 1,
+    max_hold: int = 4,
+) -> np.ndarray:
+    """Per-input APRBS allocation trajectory, shape ``(n_periods, m)``.
+
+    Each input channel gets an independent APRBS within its own
+    ``[lower[j], upper[j]]`` actuator range, so the least-squares
+    regressor matrix is well-conditioned across channels.
+    """
+    lower = np.atleast_1d(np.asarray(lower, dtype=float))
+    upper = np.atleast_1d(np.asarray(upper, dtype=float))
+    if lower.shape != upper.shape:
+        raise ValueError("lower and upper must have the same shape")
+    if np.any(upper < lower):
+        raise ValueError(f"upper must be >= lower, got {lower} / {upper}")
+    generator = ensure_rng(rng)
+    cols = [
+        aprbs(n_periods, lower[j], upper[j], generator, min_hold, max_hold)
+        for j in range(lower.shape[0])
+    ]
+    return np.column_stack(cols)

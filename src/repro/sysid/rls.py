@@ -1,0 +1,158 @@
+"""Recursive least squares for online ARX adaptation.
+
+The paper identifies its response-time model once, offline (§IV-B), and
+relies on feedback to absorb mismatch.  When the plant drifts far from
+the identification region — new request mix, software update, database
+growth — a fixed local-linear model's *gains* go stale even if feedback
+fixes the offset.  This module provides the standard remedy: recursive
+least squares with exponential forgetting, plus the same physical
+projection used by the offline fit (input gains ≤ 0, stable AR term), so
+the controller's model tracks the plant during operation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.control.arx import ARXModel
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["RecursiveARXEstimator"]
+
+
+class RecursiveARXEstimator:
+    """Exponentially-forgetting RLS over ARX parameters.
+
+    Parameters
+    ----------
+    initial_model:
+        Starting point (typically the offline identification result).
+    forgetting:
+        λ in (0.9, 1]; smaller forgets faster.  0.98 tracks drifts over
+        ~50 samples.
+    relative_uncertainty:
+        Initial per-parameter standard deviation as a fraction of the
+        parameter's own magnitude.  ARX parameters span four orders of
+        magnitude (AR term ~0.1, gains ~1000s), so an isotropic
+        covariance would let one noisy sample multiply a gain a
+        hundredfold; scaling the prior to each parameter keeps updates
+        proportionate.
+    max_relative_step:
+        Per-update clip on each parameter's change, as a fraction of
+        its reference scale — a bounded learning rate that keeps a burst
+        of outliers (e.g. during an overload transient) from teleporting
+        the model.
+    covariance_trace_cap:
+        Covariance windup guard: when poor excitation inflates
+        ``trace(P)`` past this cap (relative to the initial trace), P is
+        rescaled — otherwise the next informative sample would cause a
+        violent parameter jump.
+    project:
+        Apply the physical projection after each update (gains ≤ 0,
+        AR coefficients in [0, 0.98]).
+    """
+
+    def __init__(
+        self,
+        initial_model: ARXModel,
+        forgetting: float = 0.98,
+        relative_uncertainty: float = 0.3,
+        max_relative_step: float = 0.3,
+        covariance_trace_cap: float = 100.0,
+        project: bool = True,
+        initial_covariance: float | None = None,
+    ):
+        self.na = initial_model.na
+        self.nb = initial_model.nb
+        self.m = initial_model.n_inputs
+        check_in_range("forgetting", forgetting, 0.9, 1.0)
+        check_positive("relative_uncertainty", relative_uncertainty)
+        check_positive("max_relative_step", max_relative_step)
+        check_positive("covariance_trace_cap", covariance_trace_cap)
+        self.forgetting = float(forgetting)
+        self.project = bool(project)
+        self.max_relative_step = float(max_relative_step)
+        self.theta = np.concatenate(
+            [initial_model.a, initial_model.b.ravel(), [initial_model.g]]
+        )
+        # Reference scale per parameter: its own magnitude with a floor
+        # (so a zero coefficient can still be learned).
+        self.scale = np.abs(self.theta) + np.concatenate(
+            [np.full(self.na, 0.1), np.full(self.nb * self.m, 10.0), [10.0]]
+        )
+        if initial_covariance is not None:
+            # Back-compat isotropic mode (tests / expert use).
+            check_positive("initial_covariance", initial_covariance)
+            self.P = np.eye(self.theta.size) * float(initial_covariance)
+        else:
+            self.P = np.diag((float(relative_uncertainty) * self.scale) ** 2)
+        self._trace_cap = float(covariance_trace_cap) * float(np.trace(self.P))
+        self.n_updates = 0
+
+    # -- interface ------------------------------------------------------
+
+    @property
+    def model(self) -> ARXModel:
+        """The current parameter estimate as an :class:`ARXModel`."""
+        a = self.theta[: self.na]
+        b = self.theta[self.na : self.na + self.nb * self.m].reshape(self.nb, self.m)
+        g = float(self.theta[-1])
+        return ARXModel(a=a.copy(), b=b.copy(), g=g)
+
+    def regressor(self, t_hist: Sequence[float], c_hist: np.ndarray) -> np.ndarray:
+        """Build the RLS regressor for the measurement of period k.
+
+        ``t_hist`` is most-recent-first *excluding* the new measurement
+        (``[t(k-1), t(k-2), ...]``); ``c_hist`` is most-recent-first with
+        ``c_hist[0] = c(k)``, the input active during the measured
+        period — the same alignment as :func:`repro.sysid.fit.fit_arx`.
+        """
+        t_hist = np.asarray(t_hist, dtype=float)
+        c_hist = np.atleast_2d(np.asarray(c_hist, dtype=float))
+        if t_hist.shape[0] < self.na:
+            raise ValueError(f"need {self.na} past outputs, got {t_hist.shape[0]}")
+        if c_hist.shape[0] < self.nb or c_hist.shape[1] != self.m:
+            raise ValueError(
+                f"need {self.nb} inputs of dim {self.m}, got {c_hist.shape}"
+            )
+        return np.concatenate(
+            [t_hist[: self.na], c_hist[: self.nb].ravel(), [1.0]]
+        )
+
+    def update(self, measured_t: float, t_hist: Sequence[float], c_hist: np.ndarray) -> ARXModel:
+        """One RLS step; returns the updated model.
+
+        Non-finite measurements are ignored (the estimator holds).
+        """
+        if not np.isfinite(measured_t):
+            return self.model
+        x = self.regressor(t_hist, c_hist)
+        if not np.all(np.isfinite(x)):
+            return self.model
+        lam = self.forgetting
+        Px = self.P @ x
+        denom = lam + float(x @ Px)
+        gain = Px / denom
+        innovation = float(measured_t) - float(x @ self.theta)
+        step = gain * innovation
+        limit = self.max_relative_step * self.scale
+        np.clip(step, -limit, limit, out=step)
+        self.theta = self.theta + step
+        self.P = (self.P - np.outer(gain, Px)) / lam
+        # Covariance windup guard.
+        trace = float(np.trace(self.P))
+        if trace > self._trace_cap:
+            self.P *= self._trace_cap / trace
+        if self.project:
+            self._project()
+        self.n_updates += 1
+        return self.model
+
+    # -- internals ------------------------------------------------------
+
+    def _project(self) -> None:
+        np.clip(self.theta[: self.na], 0.0, 0.98, out=self.theta[: self.na])
+        b_slice = slice(self.na, self.na + self.nb * self.m)
+        np.clip(self.theta[b_slice], None, 0.0, out=self.theta[b_slice])

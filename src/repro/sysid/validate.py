@@ -1,0 +1,99 @@
+"""Model-validation diagnostics for identified ARX models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.arx import ARXModel
+
+__all__ = ["one_step_r2", "simulation_rmse", "residual_autocorrelation"]
+
+
+def _aligned_histories(model: ARXModel, t: np.ndarray, c: np.ndarray, k: int):
+    """Histories for predicting t(k): outputs end at k-1, inputs at k."""
+    t_hist = t[k - 1 :: -1][: model.na]
+    c_hist = c[k::-1][: model.nb]
+    return t_hist, c_hist
+
+
+def _one_step_predictions(model: ARXModel, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Predicted t(k) for all k with enough history (NaN elsewhere)."""
+    lag = max(model.na, model.nb - 1)
+    preds = np.full(t.shape[0], np.nan)
+    for k in range(lag, t.shape[0]):
+        t_hist, c_hist = _aligned_histories(model, t, c, k)
+        if np.all(np.isfinite(t_hist)) and np.all(np.isfinite(c_hist)):
+            preds[k] = model.one_step(t_hist, c_hist)
+    return preds
+
+
+def one_step_r2(model: ARXModel, t_series: np.ndarray, c_series: np.ndarray) -> float:
+    """One-step-ahead R^2 on a (possibly held-out) dataset."""
+    t = np.asarray(t_series, dtype=float).ravel()
+    c = np.atleast_2d(np.asarray(c_series, dtype=float))
+    preds = _one_step_predictions(model, t, c)
+    mask = np.isfinite(preds) & np.isfinite(t)
+    if mask.sum() < 2:
+        raise ValueError("not enough finite samples to validate")
+    resid = t[mask] - preds[mask]
+    ss_res = float(resid @ resid)
+    ss_tot = float(np.sum((t[mask] - t[mask].mean()) ** 2))
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+
+
+def simulation_rmse(model: ARXModel, t_series: np.ndarray, c_series: np.ndarray) -> float:
+    """Free-run simulation RMSE against measurements.
+
+    Harsher than one-step validation: the model sees only the measured
+    *inputs* and its own past outputs, so bias and slow drift show up.
+    NaN measurements are skipped in the error (but the free run keeps
+    going on the model's own outputs).
+    """
+    t = np.asarray(t_series, dtype=float).ravel()
+    c = np.atleast_2d(np.asarray(c_series, dtype=float))
+    lag = max(model.na, model.nb - 1)
+    K = t.shape[0]
+    if K <= lag + 2:
+        raise ValueError("series too short for simulation validation")
+    t_hist = list(t[lag - 1 :: -1][: model.na]) if model.na else []
+    c_hist = [c[j] for j in range(lag, max(lag - model.nb, -1), -1)]
+    errors = []
+    for k in range(lag, K):
+        c_hist.insert(0, c[k])
+        c_hist = c_hist[: max(model.nb, 1)]
+        pred = model.one_step(t_hist, np.asarray(c_hist))
+        if np.isfinite(t[k]):
+            errors.append(pred - t[k])
+        t_hist.insert(0, pred)
+        t_hist = t_hist[: max(model.na, 1)]
+    if not errors:
+        raise ValueError("no finite measurements to compare")
+    err = np.asarray(errors)
+    return float(np.sqrt(np.mean(err**2)))
+
+
+def residual_autocorrelation(
+    model: ARXModel, t_series: np.ndarray, c_series: np.ndarray, max_lag: int = 10
+) -> np.ndarray:
+    """Normalized autocorrelation of one-step residuals at lags 1..max_lag.
+
+    For a well-fit model the residuals are white: all values should be
+    small (|rho| below roughly ``2/sqrt(N)``).
+    """
+    if max_lag < 1:
+        raise ValueError(f"max_lag must be >= 1, got {max_lag}")
+    t = np.asarray(t_series, dtype=float).ravel()
+    c = np.atleast_2d(np.asarray(c_series, dtype=float))
+    preds = _one_step_predictions(model, t, c)
+    mask = np.isfinite(preds) & np.isfinite(t)
+    resid = (t - preds)[mask]
+    n = resid.shape[0]
+    if n < max_lag + 2:
+        raise ValueError(f"need more than {max_lag + 2} residuals, have {n}")
+    resid = resid - resid.mean()
+    denom = float(resid @ resid)
+    if denom == 0:
+        return np.zeros(max_lag)
+    return np.asarray(
+        [float(resid[lag:] @ resid[:-lag]) / denom for lag in range(1, max_lag + 1)]
+    )

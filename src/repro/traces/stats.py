@@ -1,0 +1,103 @@
+"""Trace analytics: the statistics consolidation algorithms care about.
+
+Utilization traces drive every large-scale result, so a reproduction
+needs to *characterize* the synthetic trace it substitutes for the
+paper's proprietary one: how bursty, how diurnal, how correlated — the
+properties that decide how much DVFS and consolidation can save.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.traces.trace import UtilizationTrace
+
+__all__ = ["TraceStats", "trace_statistics", "sector_statistics", "aggregate_demand_profile"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace (or one subset of its series).
+
+    ``peak_to_mean`` is the aggregate-demand peak divided by its mean —
+    the headroom consolidation must provision for; ``lag1_autocorr`` is
+    the mean per-series lag-1 autocorrelation — how predictable one step
+    ahead is (relevant to the optimizer invocation period);
+    ``diurnal_range`` is the max-min spread of the average day profile.
+    """
+
+    n_series: int
+    n_samples: int
+    mean: float
+    std: float
+    p95: float
+    peak_to_mean: float
+    lag1_autocorr: float
+    diurnal_range: float
+
+
+def _lag1_autocorr(matrix: np.ndarray) -> float:
+    x = matrix - matrix.mean(axis=1, keepdims=True)
+    num = np.sum(x[:, 1:] * x[:, :-1], axis=1)
+    den = np.sum(x * x, axis=1)
+    valid = den > 0
+    if not valid.any():
+        return 0.0
+    return float(np.mean(num[valid] / den[valid]))
+
+
+def trace_statistics(trace: UtilizationTrace) -> TraceStats:
+    """Compute :class:`TraceStats` over all series of *trace*."""
+    u = trace.utilization
+    aggregate = u.sum(axis=0)
+    samples_per_day = max(int(round(86400.0 / trace.interval_s)), 1)
+    n_days = u.shape[1] // samples_per_day
+    if n_days >= 1:
+        daily = u.mean(axis=0)[: n_days * samples_per_day]
+        profile = daily.reshape(n_days, samples_per_day).mean(axis=0)
+        diurnal_range = float(profile.max() - profile.min())
+    else:
+        diurnal_range = float(u.mean(axis=0).max() - u.mean(axis=0).min())
+    agg_mean = float(aggregate.mean())
+    return TraceStats(
+        n_series=trace.n_series,
+        n_samples=trace.n_samples,
+        mean=float(u.mean()),
+        std=float(u.std()),
+        p95=float(np.percentile(u, 95.0)),
+        peak_to_mean=float(aggregate.max()) / agg_mean if agg_mean > 0 else float("nan"),
+        lag1_autocorr=_lag1_autocorr(u),
+        diurnal_range=diurnal_range,
+    )
+
+
+def sector_statistics(trace: UtilizationTrace) -> Dict[str, TraceStats]:
+    """Per-sector statistics, keyed by the label prefix before ``/``.
+
+    Requires labels of the form ``sector/company`` (as produced by
+    :func:`repro.traces.generator.generate_trace`).
+    """
+    if not trace.labels:
+        raise ValueError("trace has no labels; sector breakdown unavailable")
+    groups: Dict[str, List[int]] = {}
+    for i, label in enumerate(trace.labels):
+        sector = label.split("/")[0]
+        groups.setdefault(sector, []).append(i)
+    out = {}
+    for sector, idx in sorted(groups.items()):
+        sub = UtilizationTrace(
+            trace.utilization[idx], trace.interval_s,
+            [trace.labels[i] for i in idx],
+        )
+        out[sector] = trace_statistics(sub)
+    return out
+
+
+def aggregate_demand_profile(
+    trace: UtilizationTrace, peak_ghz: float | np.ndarray = 1.0
+) -> np.ndarray:
+    """Total GHz demand per interval — the curve the data center must host."""
+    return trace.demands_ghz(peak_ghz).sum(axis=0)

@@ -1,0 +1,82 @@
+"""Unit conventions and conversion helpers.
+
+The whole library uses one fixed set of units (see DESIGN.md §7):
+
+* CPU capacity / allocation / demand: **gigahertz** (GHz) — the paper
+  expresses CPU allocations as absolute cycles per second, e.g. 20% of a
+  5 GHz CPU is ``c = 1.0`` GHz (paper §IV-A).
+* Response time: **milliseconds** (ms).
+* Simulation / wall-clock time: **seconds** (s).
+* Power: **watts** (W).  Energy: **watt-hours** (Wh).
+
+These helpers exist so that call sites carrying a value in a *different*
+unit convert explicitly and legibly instead of sprinkling magic factors.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_MINUTE = 60.0
+MS_PER_SECOND = 1000.0
+
+
+def ghz(value: float) -> float:
+    """Identity marker: *value* is already in GHz."""
+    return float(value)
+
+
+def mhz_to_ghz(value_mhz: float) -> float:
+    """Convert megahertz to gigahertz."""
+    return float(value_mhz) / 1000.0
+
+
+def seconds_to_ms(value_s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(value_s) * MS_PER_SECOND
+
+
+def ms_to_seconds(value_ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value_ms) / MS_PER_SECOND
+
+
+def hours_to_seconds(value_h: float) -> float:
+    """Convert hours to seconds."""
+    return float(value_h) * SECONDS_PER_HOUR
+
+
+def seconds_to_hours(value_s: float) -> float:
+    """Convert seconds to hours."""
+    return float(value_s) / SECONDS_PER_HOUR
+
+
+def minutes_to_seconds(value_min: float) -> float:
+    """Convert minutes to seconds."""
+    return float(value_min) * SECONDS_PER_MINUTE
+
+
+def watt_seconds_to_wh(value_ws: float) -> float:
+    """Convert watt-seconds (joules) to watt-hours."""
+    return float(value_ws) / SECONDS_PER_HOUR
+
+
+def wh_to_watt_seconds(value_wh: float) -> float:
+    """Convert watt-hours to watt-seconds (joules)."""
+    return float(value_wh) * SECONDS_PER_HOUR
+
+
+def share_to_ghz(share: float, cpu_ghz: float) -> float:
+    """Convert a fractional CPU share of a ``cpu_ghz`` processor to GHz.
+
+    Example from the paper: ``share_to_ghz(0.20, 5.0) == 1.0``.
+    """
+    if not 0.0 <= share:
+        raise ValueError(f"share must be non-negative, got {share}")
+    return float(share) * float(cpu_ghz)
+
+
+def ghz_to_share(alloc_ghz: float, cpu_ghz: float) -> float:
+    """Convert an absolute GHz allocation to a fraction of ``cpu_ghz``."""
+    if cpu_ghz <= 0.0:
+        raise ValueError(f"cpu_ghz must be positive, got {cpu_ghz}")
+    return float(alloc_ghz) / float(cpu_ghz)

@@ -1,0 +1,63 @@
+"""Minimal ASCII charts for terminal-only reproduction output.
+
+No plotting backend is available offline, so benches render each paper
+figure as (a) the exact numeric series and (b) a coarse ASCII sketch of
+its shape.  The sketches are deliberately simple: they exist to make
+"who wins, where's the crossover" visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a single series as a dot plot in a ``height``-row grid."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"{label} (empty)"
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        hi = lo + 1.0
+    n = len(vals)
+    # Downsample / stretch horizontally onto `width` columns.
+    cols = min(width, n)
+    grid = [[" "] * cols for _ in range(height)]
+    for c in range(cols):
+        i = int(c * (n - 1) / max(cols - 1, 1))
+        frac = (vals[i] - lo) / (hi - lo)
+        r = height - 1 - int(round(frac * (height - 1)))
+        grid[r][c] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for r, row in enumerate(grid):
+        edge = f"{hi:10.2f} |" if r == 0 else (f"{lo:10.2f} |" if r == height - 1 else " " * 11 + "|")
+        lines.append(edge + "".join(row))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vals = [float(v) for v in values]
+    vmax = max(vals) if vals else 1.0
+    if vmax <= 0:
+        vmax = 1.0
+    lw = max((len(str(l)) for l in labels), default=0)
+    lines = [title] if title else []
+    for lab, v in zip(labels, vals):
+        bar = "#" * max(0, int(round(v / vmax * width)))
+        lines.append(f"{str(lab).rjust(lw)} | {bar} {v:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness reproduces the paper's figures as printed series;
+:func:`format_table` renders them in aligned monospace columns so the
+rows are directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        # Compact fixed-point keeps columns readable across magnitudes.
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols}: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[j]) for j, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,441 @@
+"""Application substrate: demands, MVA, workloads, the RUBBoS plant."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    AppSpec,
+    ConstantWorkload,
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    MultiTierApp,
+    PiecewiseWorkload,
+    RampWorkload,
+    StepWorkload,
+    TierSpec,
+    mm1_mean_response_time,
+    mm1_utilization,
+    mva_closed_network,
+    p90_from_mean_exponential,
+)
+from repro.apps.queueing import closed_network_response_time_ms
+
+
+class TestDemandDistributions:
+    def test_deterministic_sample(self, rng):
+        d = Deterministic(0.5)
+        assert d.sample(rng) == 0.5
+        assert d.mean == 0.5
+
+    @pytest.mark.parametrize("dist", [
+        Exponential(0.02),
+        Erlang(0.02, k=3),
+        LogNormal(0.02, cv=0.8),
+        Deterministic(0.02),
+    ])
+    def test_sample_mean_matches_declared(self, dist, rng):
+        samples = dist.sample_n(rng, 20000)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    @pytest.mark.parametrize("dist", [
+        Exponential(0.02), Erlang(0.02), LogNormal(0.02), Deterministic(0.02)
+    ])
+    def test_samples_positive(self, dist, rng):
+        assert np.all(dist.sample_n(rng, 1000) > 0)
+
+    def test_erlang_less_variable_than_exponential(self, rng):
+        exp = Exponential(1.0).sample_n(rng, 20000)
+        erl = Erlang(1.0, k=4).sample_n(rng, 20000)
+        assert erl.std() < exp.std()
+
+    def test_erlang_k1_matches_exponential_cv(self, rng):
+        erl = Erlang(1.0, k=1).sample_n(rng, 20000)
+        assert erl.std() == pytest.approx(1.0, rel=0.1)
+
+    def test_lognormal_cv(self, rng):
+        ln = LogNormal(2.0, cv=0.5)
+        samples = ln.sample_n(rng, 50000)
+        assert samples.std() / samples.mean() == pytest.approx(0.5, rel=0.1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Erlang(1.0, k=0)
+        with pytest.raises(ValueError):
+            LogNormal(1.0, cv=0.0)
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+class TestMVA:
+    def test_single_station_no_think(self):
+        # One station, 1 client, no think time: R = s.
+        res = mva_closed_network([0.1], 1, 0.0)
+        assert res.response_time_s == pytest.approx(0.1)
+        assert res.throughput_rps == pytest.approx(10.0)
+
+    def test_zero_clients(self):
+        res = mva_closed_network([0.1, 0.2], 0, 1.0)
+        assert res.response_time_s == 0.0
+        assert res.throughput_rps == 0.0
+
+    def test_utilization_below_one(self):
+        res = mva_closed_network([0.02, 0.015], 100, 1.0)
+        assert np.all(res.station_utilization <= 1.0)
+
+    def test_throughput_bounded_by_bottleneck(self):
+        s = [0.02, 0.015]
+        res = mva_closed_network(s, 500, 1.0)
+        assert res.throughput_rps <= 1.0 / max(s) + 1e-9
+
+    def test_response_time_monotone_in_population(self):
+        rts = [
+            mva_closed_network([0.02, 0.015], n, 1.0).response_time_s
+            for n in [1, 10, 40, 80, 160]
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(rts, rts[1:]))
+
+    def test_little_law_consistency(self):
+        res = mva_closed_network([0.05, 0.03], 20, 0.5)
+        # N = X * (R + Z)
+        assert res.throughput_rps * (res.response_time_s + 0.5) == pytest.approx(20.0)
+
+    def test_queue_lengths_sum_little(self):
+        res = mva_closed_network([0.05, 0.03], 20, 0.5)
+        assert res.station_queue_len.sum() == pytest.approx(
+            res.throughput_rps * res.response_time_s
+        )
+
+    def test_visits_scale_demand(self):
+        base = mva_closed_network([0.02], 10, 1.0)
+        doubled = mva_closed_network([0.01], 10, 1.0, visits=[2.0])
+        assert doubled.response_time_s == pytest.approx(base.response_time_s)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mva_closed_network([], 10, 1.0)
+        with pytest.raises(ValueError):
+            mva_closed_network([-0.1], 10, 1.0)
+        with pytest.raises(ValueError):
+            mva_closed_network([0.1], -1, 1.0)
+        with pytest.raises(ValueError):
+            mva_closed_network([0.1], 10, 1.0, visits=[1.0, 2.0])
+
+    def test_closed_network_response_time_ms(self):
+        rt = closed_network_response_time_ms([0.02, 0.015], [1.0, 1.0], 40, 1.0)
+        res = mva_closed_network([0.02, 0.015], 40, 1.0)
+        assert rt == pytest.approx(res.response_time_s * 1000.0)
+
+    def test_mm1_helpers(self):
+        assert mm1_utilization(10.0, 0.05) == pytest.approx(0.5)
+        assert mm1_mean_response_time(10.0, 0.05) == pytest.approx(0.1)
+        assert mm1_mean_response_time(20.0, 0.05) == math.inf
+
+    def test_p90_exponential(self):
+        assert p90_from_mean_exponential(1.0) == pytest.approx(math.log(10.0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        s=st.lists(st.floats(0.001, 0.2), min_size=1, max_size=4),
+        n=st.integers(1, 60),
+        z=st.floats(0.0, 5.0),
+    )
+    def test_mva_invariants(self, s, n, z):
+        res = mva_closed_network(s, n, z)
+        assert res.response_time_s >= sum(s) - 1e-9  # at least the raw demand
+        assert res.throughput_rps >= 0
+        assert np.all(res.station_utilization <= 1.0 + 1e-9)
+        # Little's law over the full loop.
+        assert res.throughput_rps * (res.response_time_s + z) == pytest.approx(n, rel=1e-6)
+
+
+class TestWorkloads:
+    def test_constant(self):
+        w = ConstantWorkload(40)
+        assert w.level(0) == 40
+        assert w.level(1e6) == 40
+        assert w.max_level == 40
+
+    def test_step_window(self):
+        w = StepWorkload(40, 80, 600.0, 1200.0)
+        assert w.level(599.9) == 40
+        assert w.level(600.0) == 80
+        assert w.level(1199.9) == 80
+        assert w.level(1200.0) == 40
+        assert w.max_level == 80
+
+    def test_step_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            StepWorkload(40, 80, 1200.0, 600.0)
+
+    def test_ramp_endpoints(self):
+        w = RampWorkload(10, 50, 0.0, 100.0)
+        assert w.level(0.0) == 10
+        assert w.level(100.0) == 50
+        assert w.level(50.0) == 30
+
+    def test_ramp_clamps_outside(self):
+        w = RampWorkload(10, 50, 100.0, 200.0)
+        assert w.level(0.0) == 10
+        assert w.level(500.0) == 50
+
+    def test_piecewise(self):
+        w = PiecewiseWorkload([(0.0, 5), (10.0, 20), (30.0, 10)])
+        assert w.level(0) == 5
+        assert w.level(9.9) == 5
+        assert w.level(10.0) == 20
+        assert w.level(35.0) == 10
+        assert w.max_level == 20
+
+    def test_piecewise_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            PiecewiseWorkload([(1.0, 5)])
+
+    def test_piecewise_strictly_increasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseWorkload([(0.0, 5), (0.0, 6)])
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantWorkload(-1)
+        with pytest.raises(ValueError):
+            PiecewiseWorkload([(0.0, -5)])
+
+
+class TestMultiTierApp:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AppSpec(name="x", tiers=())
+        with pytest.raises(ValueError):
+            TierSpec("t", Exponential(0.02), min_alloc_ghz=2.0, max_alloc_ghz=1.0)
+
+    def test_rubbos_spec_shape(self):
+        spec = AppSpec.rubbos()
+        assert spec.n_tiers == 2
+        assert spec.tiers[0].name == "web"
+        assert spec.tiers[1].name == "db"
+
+    def test_allocations_clipped_to_tier_bounds(self):
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], rng=0)
+        app.set_allocations([100.0, 0.0001])
+        alloc = app.allocations_ghz
+        assert alloc[0] == pytest.approx(4.0)  # default max
+        assert alloc[1] == pytest.approx(0.1)  # default min
+
+    def test_wrong_allocation_length_rejected(self):
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], rng=0)
+        with pytest.raises(ValueError):
+            app.set_allocations([1.0])
+
+    def test_run_period_produces_stats(self):
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=20, rng=1)
+        app.warmup(30)
+        stats = app.run_period(60.0)
+        assert stats.completed > 0
+        assert stats.rt_p90_ms > stats.rt_mean_ms > 0
+        assert all(0 <= u <= 1 for u in stats.utilizations)
+
+    def test_zero_concurrency_no_requests(self):
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=0, rng=1)
+        stats = app.run_period(30.0)
+        assert stats.completed == 0
+        assert math.isnan(stats.rt_p90_ms)
+
+    def test_concurrency_increase_raises_throughput(self):
+        app = MultiTierApp(AppSpec.rubbos(), [2.0, 2.0], concurrency=5, rng=2)
+        app.warmup(50)
+        low = app.run_period(100.0)
+        app.set_concurrency(20)
+        app.warmup(50)
+        high = app.run_period(100.0)
+        assert high.throughput_rps > low.throughput_rps
+
+    def test_concurrency_decrease_parks_clients(self):
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=20, rng=3)
+        app.warmup(30)
+        app.set_concurrency(2)
+        app.warmup(60)  # drain
+        stats = app.run_period(100.0)
+        # Throughput bounded by 2 clients cycling.
+        assert stats.throughput_rps <= 2.1
+
+    def test_more_allocation_reduces_response_time(self):
+        app = MultiTierApp(AppSpec.rubbos(), [0.5, 0.5], concurrency=40, rng=4)
+        app.warmup(60)
+        slow = app.run_period(120.0)
+        app.set_allocations([2.0, 2.0])
+        app.warmup(60)
+        fast = app.run_period(120.0)
+        assert fast.rt_p90_ms < slow.rt_p90_ms
+
+    def test_des_matches_mva_mean(self):
+        """The request-level simulator agrees with exact MVA within noise."""
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=40, rng=5)
+        app.warmup(120)
+        stats = app.run_period(400.0)
+        mva = mva_closed_network([0.020, 0.015], 40, 1.0)
+        assert stats.rt_mean_ms == pytest.approx(mva.response_time_s * 1000, rel=0.15)
+        assert stats.throughput_rps == pytest.approx(mva.throughput_rps, rel=0.1)
+
+    def test_used_ghz_bounded_by_allocation(self):
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=40, rng=6)
+        app.warmup(30)
+        app.run_period(60.0)
+        used = app.used_ghz(60.0)
+        assert np.all(used <= app.allocations_ghz + 1e-9)
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=10, rng=seed)
+            app.warmup(20)
+            return app.run_period(50.0).rt_mean_ms
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_queue_lengths_accessible(self):
+        app = MultiTierApp(AppSpec.rubbos(), [0.3, 0.3], concurrency=30, rng=7)
+        app.warmup(30)
+        qs = app.queue_lengths()
+        assert len(qs) == 2
+        assert all(q >= 0 for q in qs)
+
+
+class TestAdmissionControl:
+    def test_concurrency_cap_limits_in_service(self):
+        from repro.apps.rubbos import _Tier
+        from repro.sim.des import Simulator
+
+        sim = Simulator()
+        tier = _Tier(sim, TierSpec("t", Exponential(0.02), max_concurrency=2), 1.0)
+        events = [tier.submit(1.0) for _ in range(5)]
+        assert tier._in_service == 2
+        assert tier.queue_length == 5
+        sim.run()
+        assert all(ev.triggered for ev in events)
+
+    def test_fifo_admission_order(self):
+        from repro.apps.rubbos import _Tier
+        from repro.sim.des import Simulator
+
+        sim = Simulator()
+        tier = _Tier(sim, TierSpec("t", Exponential(0.02), max_concurrency=1), 1.0)
+        events = [tier.submit(1.0) for _ in range(3)]
+        sim.run()
+        finish = [ev.value for ev in events]
+        assert finish[0] < finish[1] < finish[2]
+
+    def test_cap_one_serializes_exactly(self):
+        from repro.apps.rubbos import _Tier
+        from repro.sim.des import Simulator
+
+        sim = Simulator()
+        tier = _Tier(sim, TierSpec("t", Exponential(0.02), max_concurrency=1), 2.0)
+        e1 = tier.submit(2.0)  # 1 s at 2 GHz
+        e2 = tier.submit(2.0)
+        sim.run()
+        assert e1.value == pytest.approx(1.0)
+        assert e2.value == pytest.approx(2.0)  # waited 1 s, served 1 s
+
+    def test_uncapped_tier_unchanged(self):
+        from repro.apps.rubbos import _Tier
+        from repro.sim.des import Simulator
+
+        sim = Simulator()
+        tier = _Tier(sim, TierSpec("t", Exponential(0.02)), 1.0)
+        e1 = tier.submit(1.0)
+        e2 = tier.submit(1.0)
+        sim.run()
+        # Pure PS: simultaneous equal jobs finish together.
+        assert e1.value == pytest.approx(2.0)
+        assert e2.value == pytest.approx(2.0)
+
+    def test_app_with_capped_tier_still_serves_everything(self):
+        spec = AppSpec(
+            name="capped",
+            tiers=(
+                TierSpec("web", Exponential(0.020), max_concurrency=8),
+                TierSpec("db", Exponential(0.015), max_concurrency=4),
+            ),
+        )
+        app = MultiTierApp(spec, [1.0, 1.0], concurrency=30, rng=9)
+        app.warmup(60)
+        stats = app.run_period(120.0)
+        assert stats.completed > 0
+        assert stats.rt_p90_ms > 0
+
+    def test_cap_preserves_throughput(self):
+        """An admission cap reshapes waiting (queue at the door instead of
+        sharing the CPU) but cannot change the capacity-bound throughput."""
+        def run(cap):
+            spec = AppSpec(
+                name="x",
+                tiers=(
+                    TierSpec("web", Exponential(0.020), max_concurrency=cap),
+                    TierSpec("db", Exponential(0.015)),
+                ),
+            )
+            app = MultiTierApp(spec, [1.0, 1.0], concurrency=40, rng=10)
+            app.warmup(90)
+            return app.run_period(200.0).throughput_rps
+
+        assert run(2) == pytest.approx(run(64), rel=0.1)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TierSpec("t", Exponential(0.02), max_concurrency=0)
+
+
+class TestTraceWorkload:
+    def test_maps_series_to_levels(self):
+        from repro.apps import TraceWorkload
+        w = TraceWorkload([0.0, 0.5, 1.0], interval_s=10.0, min_level=20, max_level=80)
+        assert w.level(0.0) == 20
+        assert w.level(10.0) == 50
+        assert w.level(20.0) == 80
+        assert w.level(1e9) == 80  # clamps past the series
+        assert w.max_level == 80
+
+    def test_time_scale_compresses(self):
+        from repro.apps import TraceWorkload
+        w = TraceWorkload([0.0, 1.0], interval_s=900.0, min_level=0,
+                          max_level=100, time_scale=60.0)
+        assert w.level(0.0) == 0
+        assert w.level(15.0) == 100  # 900 s of trace per 15 s of sim
+
+    def test_validation(self):
+        from repro.apps import TraceWorkload
+        with pytest.raises(ValueError):
+            TraceWorkload([], 10.0, 0, 10)
+        with pytest.raises(ValueError):
+            TraceWorkload([1.5], 10.0, 0, 10)
+        with pytest.raises(ValueError):
+            TraceWorkload([0.5], 10.0, 10, 5)
+        with pytest.raises(ValueError):
+            TraceWorkload([0.5], 10.0, 0, 10, time_scale=0.0)
+
+    def test_diurnal_day_in_the_life_tracks(self):
+        """A trace-driven diurnal workload (compressed day) stays on the
+        set point throughout — the two substrates compose."""
+        from repro.apps import TraceWorkload
+        from repro.sim.testbed import TestbedConfig, TestbedExperiment
+        from repro.traces import TraceConfig, generate_trace
+
+        trace = generate_trace(TraceConfig(n_servers=4, n_days=1), rng=41)
+        # One day of 15-min samples compressed into 480 s of simulation.
+        workload = TraceWorkload(
+            trace.utilization[0], interval_s=900.0,
+            min_level=25, max_level=60, time_scale=180.0,
+        )
+        config = TestbedConfig(
+            n_apps=2, duration_s=480.0, workloads={0: workload}
+        )
+        result = TestbedExperiment(config).run()
+        rts = result.recorder.values("rt/app0")[8:]
+        assert abs(np.nanmean(rts) - 1000.0) / 1000.0 < 0.25

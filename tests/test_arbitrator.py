@@ -1,0 +1,71 @@
+"""Server-level CPU resource arbitrator with DVFS."""
+
+import pytest
+
+from repro.cluster.catalog import SERVER_TYPE_A, SERVER_TYPE_B
+from repro.cluster.server import Server
+from repro.core.arbitrator import CPUResourceArbitrator
+
+
+class TestArbitrator:
+    def test_grants_demands_when_capacity_suffices(self):
+        server = Server("s", SERVER_TYPE_A)  # quad 3.0 -> 12 GHz max
+        arb = CPUResourceArbitrator(headroom=1.0)
+        result = arb.arbitrate(server, {"v1": 2.0, "v2": 1.0})
+        assert result.allocations_ghz == {"v1": 2.0, "v2": 1.0}
+        assert not result.overloaded
+
+    def test_picks_lowest_sufficient_frequency(self):
+        server = Server("s", SERVER_TYPE_A)  # levels 1.5/2.0/2.5/3.0 x4 cores
+        arb = CPUResourceArbitrator(headroom=1.0)
+        result = arb.arbitrate(server, {"v1": 5.5})  # needs 5.5 -> 1.5*4=6 ok
+        assert result.freq_ghz == 1.5
+        assert server.freq_ghz == 1.5
+        result = arb.arbitrate(server, {"v1": 6.5})  # needs 2.0 level (8)
+        assert result.freq_ghz == 2.0
+
+    def test_headroom_raises_frequency(self):
+        server = Server("s", SERVER_TYPE_A)
+        arb = CPUResourceArbitrator(headroom=0.5)  # need capacity >= 2x demand
+        result = arb.arbitrate(server, {"v1": 5.0})  # 10 needed -> 2.5 level
+        assert result.freq_ghz == 2.5
+
+    def test_zero_demand_drops_to_lowest_level(self):
+        server = Server("s", SERVER_TYPE_A)
+        arb = CPUResourceArbitrator()
+        result = arb.arbitrate(server, {"v1": 0.0})
+        assert result.freq_ghz == SERVER_TYPE_A.cpu.min_freq_ghz
+        assert result.allocations_ghz["v1"] == 0.0
+
+    def test_overload_rations_proportionally(self):
+        server = Server("s", SERVER_TYPE_B)  # 4 GHz max
+        arb = CPUResourceArbitrator(headroom=1.0)
+        result = arb.arbitrate(server, {"v1": 4.0, "v2": 2.0})
+        assert result.overloaded
+        assert result.freq_ghz == SERVER_TYPE_B.cpu.max_freq_ghz
+        total = sum(result.allocations_ghz.values())
+        assert total == pytest.approx(4.0)
+        # 2:1 ratio preserved.
+        assert result.allocations_ghz["v1"] == pytest.approx(2 * result.allocations_ghz["v2"])
+
+    def test_sleeping_server_rejected(self):
+        server = Server("s", SERVER_TYPE_A, active=False)
+        with pytest.raises(ValueError):
+            CPUResourceArbitrator().arbitrate(server, {"v1": 1.0})
+
+    def test_negative_demand_rejected(self):
+        server = Server("s", SERVER_TYPE_A)
+        with pytest.raises(ValueError):
+            CPUResourceArbitrator().arbitrate(server, {"v1": -1.0})
+
+    def test_headroom_validation(self):
+        with pytest.raises(ValueError):
+            CPUResourceArbitrator(headroom=0.0)
+        with pytest.raises(ValueError):
+            CPUResourceArbitrator(headroom=1.5)
+
+    def test_empty_demands(self):
+        server = Server("s", SERVER_TYPE_A)
+        result = CPUResourceArbitrator().arbitrate(server, {})
+        assert result.total_demand_ghz == 0.0
+        assert result.allocations_ghz == {}

@@ -1,0 +1,152 @@
+"""ARX model: simulation, affine prediction, gains, stability analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.arx import ARXModel
+from repro.control.stability import arx_poles, is_stable_arx
+
+
+class TestConstruction:
+    def test_orders(self, simple_arx):
+        assert simple_arx.na == 1
+        assert simple_arx.nb == 2
+        assert simple_arx.n_inputs == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ARXModel(a=[], b=[[1.0]])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            ARXModel(a=[np.nan], b=[[1.0]])
+        with pytest.raises(ValueError):
+            ARXModel(a=[0.5], b=[[np.inf]], g=0.0)
+
+
+class TestOneStep:
+    def test_manual_computation(self):
+        m = ARXModel(a=[0.5], b=[[-2.0, -1.0], [-0.5, -0.2]], g=10.0)
+        # t(k+1) = 0.5 t(k) + b1 c(k+1) + b2 c(k)
+        t = m.one_step([4.0], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        expected = 0.5 * 4.0 + (-2.0 * 1.0 - 1.0 * 2.0) + (-0.5 * 3.0 - 0.2 * 4.0) + 10.0
+        assert t == pytest.approx(expected)
+
+    def test_short_history_rejected(self, simple_arx):
+        with pytest.raises(ValueError):
+            simple_arx.one_step([], np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            simple_arx.one_step([1.0], np.ones((1, 2)))
+
+    def test_wrong_input_dim_rejected(self, simple_arx):
+        with pytest.raises(ValueError):
+            simple_arx.one_step([1.0], np.ones((2, 3)))
+
+
+class TestSimulate:
+    def test_constant_input_converges_to_fixed_point(self, simple_arx):
+        c = np.tile([1.0, 1.0], (200, 1))
+        out = simple_arx.simulate([2000.0], c)
+        fixed = (simple_arx.g + simple_arx.b.sum(axis=0) @ np.array([1.0, 1.0])) / (
+            1 - simple_arx.a.sum()
+        )
+        assert out[-1] == pytest.approx(fixed, rel=1e-6)
+
+    def test_dc_gain_matches_step_response(self, simple_arx):
+        c_low = np.tile([1.0, 1.0], (300, 1))
+        c_high = c_low.copy()
+        c_high[:, 0] += 0.1
+        low = simple_arx.simulate([1000.0], c_low)[-1]
+        high = simple_arx.simulate([1000.0], c_high)[-1]
+        assert (high - low) / 0.1 == pytest.approx(simple_arx.dc_gain()[0], rel=1e-6)
+
+    def test_integrating_model_gain_inf(self):
+        m = ARXModel(a=[1.0], b=[[-1.0]], g=0.0)
+        assert np.all(np.isinf(m.dc_gain()))
+
+    def test_length(self, simple_arx):
+        out = simple_arx.simulate([1000.0], np.ones((17, 2)))
+        assert out.shape == (17,)
+
+
+class TestPredictAffine:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        na=st.integers(1, 3),
+        nb=st.integers(1, 3),
+        m=st.integers(1, 3),
+        P=st.integers(1, 8),
+    )
+    def test_affine_map_matches_forward_simulation(self, data, na, nb, m, P):
+        """phi + psi @ u must equal iterating the model on the same inputs."""
+        M = data.draw(st.integers(1, P))
+        seed = data.draw(st.integers(0, 9999))
+        rng = np.random.default_rng(seed)
+        model = ARXModel(
+            a=rng.uniform(-0.4, 0.4, size=na),
+            b=rng.uniform(-2.0, 0.0, size=(nb, m)),
+            g=rng.uniform(-5, 5),
+        )
+        t_hist = rng.uniform(0, 10, size=na)
+        c_hist = rng.uniform(0, 2, size=(max(nb, 1), m))
+        u = rng.uniform(-0.5, 0.5, size=M * m)
+        phi, psi = model.predict_affine(t_hist, c_hist, P, M)
+        predicted = phi + psi @ u
+
+        # Forward simulation with explicit future inputs.
+        dc = u.reshape(M, m)
+        c_now = c_hist[0]
+        future_c = [c_now + dc[: min(j, M)].sum(axis=0) for j in range(1, P + 1)]
+        t_buf = list(t_hist)
+        c_buf = [row.copy() for row in c_hist]
+        outs = []
+        for j in range(P):
+            c_buf.insert(0, future_c[j])
+            t_next = model.one_step(t_buf, np.asarray(c_buf))
+            outs.append(t_next)
+            t_buf.insert(0, t_next)
+        np.testing.assert_allclose(predicted, outs, rtol=1e-9, atol=1e-7)
+
+    def test_psi_first_row_is_direct_gain(self, simple_arx):
+        phi, psi = simple_arx.predict_affine(
+            [1000.0], np.array([[1.0, 1.0], [1.0, 1.0]]), 4, 2
+        )
+        # t(k+1) depends on c(k+1) = c + dc0 through b1 only.
+        np.testing.assert_allclose(psi[0, :2], simple_arx.b[0])
+        np.testing.assert_allclose(psi[0, 2:], 0.0)
+
+    def test_invalid_horizons_rejected(self, simple_arx):
+        hist = ([1000.0], np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            simple_arx.predict_affine(*hist, 0, 1)
+        with pytest.raises(ValueError):
+            simple_arx.predict_affine(*hist, 4, 5)
+
+
+class TestStability:
+    def test_poles_of_first_order(self):
+        m = ARXModel(a=[0.5], b=[[1.0]])
+        np.testing.assert_allclose(arx_poles(m), [0.5])
+
+    def test_stable_detection(self):
+        assert is_stable_arx(ARXModel(a=[0.9], b=[[1.0]]))
+        assert not is_stable_arx(ARXModel(a=[1.1], b=[[1.0]]))
+
+    def test_margin(self):
+        m = ARXModel(a=[0.9], b=[[1.0]])
+        assert not is_stable_arx(m, margin=0.2)
+        assert is_stable_arx(m, margin=0.05)
+
+    def test_second_order_complex_poles(self):
+        # t(k) = 1.0 t(k-1) - 0.5 t(k-2): poles 0.5 +- 0.5j, |z| ~ 0.707.
+        m = ARXModel(a=[1.0, -0.5], b=[[1.0], [0.0]])
+        poles = arx_poles(m)
+        assert np.all(np.abs(np.abs(poles) - np.sqrt(0.5)) < 1e-9)
+        assert is_stable_arx(m)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            is_stable_arx(ARXModel(a=[0.5], b=[[1.0]]), margin=1.0)

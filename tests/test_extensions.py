@@ -1,0 +1,174 @@
+"""Extension features: approximate MVA, trace analytics, SLA metrics, CLI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import approx_mva_closed_network, mva_closed_network
+from repro.sim.metrics import PeriodStats
+from repro.traces import (
+    TraceConfig,
+    UtilizationTrace,
+    generate_trace,
+    sector_statistics,
+    trace_statistics,
+)
+from repro.traces.stats import aggregate_demand_profile
+
+
+class TestApproxMVA:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        n=st.integers(1, 200),
+        z=st.floats(0.0, 3.0),
+    )
+    def test_close_to_exact(self, data, n, z):
+        m = data.draw(st.integers(1, 4))
+        s = [data.draw(st.floats(0.005, 0.1)) for _ in range(m)]
+        exact = mva_closed_network(s, n, z)
+        approx = approx_mva_closed_network(s, n, z)
+        # Schweitzer's documented worst case in unbalanced networks is
+        # roughly 25% (empirical worst over 3000 random instances of this
+        # family: 24.7%); assert a 30% envelope.
+        rel = 0.30
+        if exact.response_time_s > 0:
+            assert approx.response_time_s == pytest.approx(
+                exact.response_time_s, rel=rel
+            )
+        assert approx.throughput_rps == pytest.approx(
+            exact.throughput_rps, rel=rel
+        )
+        # Physical sanity regardless of population size.
+        assert approx.response_time_s >= sum(s) - 1e-9
+        assert np.all(approx.station_utilization <= 1.0 + 1e-9)
+
+    def test_zero_clients(self):
+        res = approx_mva_closed_network([0.1], 0, 1.0)
+        assert res.response_time_s == 0.0
+        assert res.throughput_rps == 0.0
+
+    def test_exact_for_one_client(self):
+        exact = mva_closed_network([0.05, 0.02], 1, 1.0)
+        approx = approx_mva_closed_network([0.05, 0.02], 1, 1.0)
+        assert approx.response_time_s == pytest.approx(exact.response_time_s, rel=1e-6)
+
+    def test_utilization_bounded(self):
+        res = approx_mva_closed_network([0.02, 0.015], 500, 1.0)
+        assert np.all(res.station_utilization <= 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            approx_mva_closed_network([], 1, 1.0)
+        with pytest.raises(ValueError):
+            approx_mva_closed_network([0.1], -1, 1.0)
+
+
+class TestTraceStats:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(TraceConfig(n_servers=300, n_days=2), rng=17)
+
+    def test_basic_ranges(self, trace):
+        stats = trace_statistics(trace)
+        assert stats.n_series == 300
+        assert 0.0 < stats.mean < 1.0
+        assert stats.p95 > stats.mean
+        assert stats.peak_to_mean >= 1.0
+        assert -1.0 <= stats.lag1_autocorr <= 1.0
+        assert stats.diurnal_range > 0.0
+
+    def test_trace_is_strongly_autocorrelated(self, trace):
+        """15-minute utilization averages are smooth — consolidation's
+        'demand now predicts demand soon' assumption holds."""
+        assert trace_statistics(trace).lag1_autocorr > 0.5
+
+    def test_sector_breakdown_covers_all(self, trace):
+        per_sector = sector_statistics(trace)
+        assert set(per_sector) == {"manufacturing", "telecom", "financial", "retail"}
+        assert sum(s.n_series for s in per_sector.values()) == 300
+
+    def test_sector_requires_labels(self):
+        anon = UtilizationTrace(np.full((3, 8), 0.5))
+        with pytest.raises(ValueError):
+            sector_statistics(anon)
+
+    def test_aggregate_profile(self, trace):
+        profile = aggregate_demand_profile(trace, peak_ghz=2.0)
+        assert profile.shape == (trace.n_samples,)
+        assert np.all(profile >= 0)
+        np.testing.assert_allclose(
+            profile, trace.utilization.sum(axis=0) * 2.0
+        )
+
+
+class TestSLAMetrics:
+    def test_period_stats_metric_lookup(self):
+        s = PeriodStats(900.0, 400.0, 10, 2.0, (0.5,), rt_p50_ms=350.0, rt_max_ms=2000.0)
+        assert s.metric("p90") == 900.0
+        assert s.metric("p50") == 350.0
+        assert s.metric("mean") == 400.0
+        assert s.metric("max") == 2000.0
+        with pytest.raises(ValueError):
+            s.metric("p99")
+
+    def test_plant_reports_ordered_metrics(self):
+        from repro.apps import AppSpec, MultiTierApp
+
+        app = MultiTierApp(AppSpec.rubbos(), [1.0, 1.0], concurrency=30, rng=3)
+        app.warmup(60)
+        stats = app.run_period(120.0)
+        assert stats.rt_p50_ms <= stats.rt_p90_ms <= stats.rt_max_ms
+        assert stats.rt_p50_ms <= stats.rt_mean_ms <= stats.rt_max_ms
+
+    def test_testbed_config_rejects_unknown_metric(self):
+        from repro.sim.testbed import TestbedConfig
+
+        with pytest.raises(ValueError):
+            TestbedConfig(sla_metric="p99")
+
+    def test_mean_rt_control_tracks(self):
+        """Paper §III: 'can be extended to control other SLAs such as
+        average ... response times.'"""
+        from repro.sim.testbed import TestbedConfig, TestbedExperiment
+
+        config = TestbedConfig(
+            n_apps=2, duration_s=450.0, sla_metric="mean", setpoint_ms=500.0
+        )
+        result = TestbedExperiment(config).run()
+        for i in range(2):
+            tail = result.recorder.values(f"rt/app{i}")[12:]
+            assert np.nanmean(tail) == pytest.approx(500.0, rel=0.2)
+
+
+class TestCLI:
+    def test_testbed_cli(self, capsys):
+        from repro.cli import main_testbed
+
+        rc = main_testbed(["--duration", "120", "--apps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Response-time tracking" in out
+        assert "Cluster power" in out
+
+    def test_largescale_cli(self, capsys):
+        from repro.cli import main_largescale
+
+        rc = main_largescale(["--vms", "20", "40", "--servers", "60", "--days", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Energy per VM" in out
+        assert "ipac Wh/VM" in out
+
+    def test_trace_cli(self, tmp_path, capsys):
+        from repro.cli import main_trace
+        from repro.traces import UtilizationTrace
+
+        path = str(tmp_path / "t.csv")
+        rc = main_trace([path, "--servers", "12", "--days", "1"])
+        assert rc == 0
+        assert "Wrote" in capsys.readouterr().out
+        back = UtilizationTrace.from_csv(path)
+        assert back.n_series == 12
+        assert back.n_samples == 96

@@ -1,0 +1,76 @@
+"""Metrics containers: recorder, period stats, energy meter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import EnergyMeter, PeriodStats, SeriesRecorder
+
+
+class TestSeriesRecorder:
+    def test_record_and_read_back(self):
+        r = SeriesRecorder()
+        r.record("x", 0.0, 1.0)
+        r.record("x", 1.0, 2.0)
+        np.testing.assert_array_equal(r.values("x"), [1.0, 2.0])
+        np.testing.assert_array_equal(r.times("x"), [0.0, 1.0])
+
+    def test_names_insertion_ordered(self):
+        r = SeriesRecorder()
+        r.record("b", 0, 1)
+        r.record("a", 0, 1)
+        assert list(r.names()) == ["b", "a"]
+
+    def test_missing_series_empty(self):
+        r = SeriesRecorder()
+        assert r.values("nope").shape == (0,)
+        assert math.isnan(r.last("nope"))
+        assert r.last("nope", default=7.0) == 7.0
+
+    def test_summary_ignores_nan(self):
+        r = SeriesRecorder()
+        for v in [1.0, float("nan"), 3.0]:
+            r.record("x", 0, v)
+        s = r.summary("x")
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["n"] == 2
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+
+    def test_summary_empty(self):
+        s = SeriesRecorder().summary("void")
+        assert math.isnan(s["mean"])
+        assert s["n"] == 0
+
+
+class TestEnergyMeter:
+    def test_integration(self):
+        m = EnergyMeter()
+        m.add_interval(100.0, 3600.0)  # 100 W for an hour
+        assert m.energy_wh == pytest.approx(100.0)
+        m.add_interval(50.0, 1800.0)
+        assert m.energy_wh == pytest.approx(125.0)
+
+    def test_mean_power(self):
+        m = EnergyMeter()
+        m.add_interval(100.0, 10.0)
+        m.add_interval(200.0, 10.0)
+        assert m.mean_power_w == pytest.approx(150.0)
+
+    def test_empty_mean_nan(self):
+        assert math.isnan(EnergyMeter().mean_power_w)
+
+    def test_validation(self):
+        m = EnergyMeter()
+        with pytest.raises(ValueError):
+            m.add_interval(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            m.add_interval(1.0, -10.0)
+
+
+class TestPeriodStats:
+    def test_frozen(self):
+        s = PeriodStats(1.0, 0.5, 10, 2.0, (0.5, 0.6))
+        with pytest.raises(Exception):
+            s.rt_p90_ms = 2.0

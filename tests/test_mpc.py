@@ -1,0 +1,222 @@
+"""MPC core: tracking, constraints, terminal handling, closed loop."""
+
+import numpy as np
+import pytest
+
+from repro.control.arx import ARXModel
+from repro.control.mpc_core import MPCConfig, MPCController
+from repro.control.stability import closed_loop_converges
+from repro.core.controller.reference import exponential_reference
+
+
+def _ref_fn(setpoint, P=8, period=15.0, tref=15.0):
+    def fn(t_k):
+        return exponential_reference(t_k, setpoint, P, period, tref)
+    return fn
+
+
+class TestConfigValidation:
+    def test_horizon_ordering(self):
+        with pytest.raises(ValueError):
+            MPCConfig(prediction_horizon=2, control_horizon=3)
+
+    def test_positive_weights(self):
+        with pytest.raises(ValueError):
+            MPCConfig(q_weight=0.0)
+        with pytest.raises(ValueError):
+            MPCConfig(r_weight=-1.0)
+
+    def test_delta_max_positive(self):
+        with pytest.raises(ValueError):
+            MPCConfig(delta_max=0.0)
+
+    def test_power_weight_non_negative(self):
+        with pytest.raises(ValueError):
+            MPCConfig(power_weight=-1.0)
+
+    def test_r_weight_vector_wrong_length(self, simple_arx):
+        with pytest.raises(ValueError):
+            MPCController(simple_arx, MPCConfig(r_weight=[1.0, 2.0, 3.0]))
+
+
+class TestSolve:
+    def test_at_setpoint_does_nothing(self, simple_arx):
+        """At steady state on the set point, the input change is ~0."""
+        # Steady state: t = (g + sum(b) c) / (1 - a); choose c so t = Ts.
+        c = np.array([0.6, 0.6])
+        ts = float((simple_arx.g + simple_arx.b.sum(axis=0) @ c) / (1 - simple_arx.a.sum()))
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1e4))
+        ref = np.full(8, ts)
+        sol = ctrl.solve([ts], np.tile(c, (2, 1)), ref, ts, [0.1, 0.1], [3.0, 3.0])
+        np.testing.assert_allclose(sol.delta_c, 0.0, atol=1e-6)
+
+    def test_high_rt_increases_allocation(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1e4))
+        c = np.array([0.6, 0.6])
+        ref = exponential_reference(2500.0, 1000.0, 8, 15.0, 15.0)
+        sol = ctrl.solve([2500.0], np.tile(c, (2, 1)), ref, 1000.0, [0.1, 0.1], [3.0, 3.0])
+        assert sol.delta_c.sum() > 0  # negative gains: more CPU lowers RT
+
+    def test_low_rt_decreases_allocation(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1e4))
+        c = np.array([1.5, 1.5])
+        ref = exponential_reference(300.0, 1000.0, 8, 15.0, 15.0)
+        sol = ctrl.solve([300.0], np.tile(c, (2, 1)), ref, 1000.0, [0.1, 0.1], [3.0, 3.0])
+        assert sol.delta_c.sum() < 0
+
+    def test_bounds_respected(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1.0))
+        c = np.array([0.15, 0.15])
+        ref = exponential_reference(3000.0, 100.0, 8, 15.0, 15.0)
+        sol = ctrl.solve([3000.0], np.tile(c, (2, 1)), ref, 100.0, [0.1, 0.1], [0.3, 0.3])
+        new_c = c + sol.input_trajectory.cumsum(axis=0)
+        assert np.all(new_c <= 0.3 + 1e-5)
+        assert np.all(new_c >= 0.1 - 1e-5)
+
+    def test_rate_limit_respected(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1.0, delta_max=0.05))
+        c = np.array([0.5, 0.5])
+        ref = exponential_reference(3000.0, 500.0, 8, 15.0, 15.0)
+        sol = ctrl.solve([3000.0], np.tile(c, (2, 1)), ref, 500.0, [0.1, 0.1], [3.0, 3.0])
+        assert np.all(np.abs(sol.input_trajectory) <= 0.05 + 1e-5)
+
+    def test_terminal_constraint_hit_when_feasible(self, simple_arx):
+        cfg = MPCConfig(r_weight=1.0, terminal_constraint=True)
+        ctrl = MPCController(simple_arx, cfg)
+        c = np.array([0.8, 0.8])
+        ref = exponential_reference(1500.0, 1000.0, 8, 15.0, 15.0)
+        sol = ctrl.solve([1500.0], np.tile(c, (2, 1)), ref, 1000.0, [0.1, 0.1], [3.0, 3.0])
+        assert not sol.terminal_softened
+        # Predicted output at the control horizon equals the set point.
+        assert sol.predicted_outputs[cfg.control_horizon - 1] == pytest.approx(1000.0, abs=1e-5)
+
+    def test_terminal_softens_when_unreachable(self, simple_arx):
+        """A tiny rate limit makes the hard terminal equality infeasible."""
+        cfg = MPCConfig(r_weight=1.0, terminal_constraint=True, delta_max=0.01)
+        ctrl = MPCController(simple_arx, cfg)
+        c = np.array([0.5, 0.5])
+        ref = exponential_reference(3000.0, 500.0, 8, 15.0, 15.0)
+        sol = ctrl.solve([3000.0], np.tile(c, (2, 1)), ref, 500.0, [0.1, 0.1], [3.0, 3.0])
+        assert sol.terminal_softened
+        assert np.all(np.abs(sol.input_trajectory) <= 0.01 + 1e-5)
+
+    def test_total_cap_enforced(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1.0))
+        c = np.array([0.5, 0.5])
+        ref = exponential_reference(3000.0, 200.0, 8, 15.0, 15.0)
+        sol = ctrl.solve(
+            [3000.0], np.tile(c, (2, 1)), ref, 200.0,
+            [0.1, 0.1], [3.0, 3.0], total_cap_ghz=1.4,
+        )
+        new_c = c + sol.input_trajectory.cumsum(axis=0)
+        assert np.all(new_c.sum(axis=1) <= 1.4 + 1e-7)
+
+    def test_output_bias_shifts_predictions(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1e4, terminal_constraint=False))
+        c = np.tile([0.6, 0.6], (2, 1))
+        ref = np.full(8, 1000.0)
+        s0 = ctrl.solve([1000.0], c, ref, 1000.0, [0.1, 0.1], [3.0, 3.0], output_bias=0.0)
+        s1 = ctrl.solve([1000.0], c, ref, 1000.0, [0.1, 0.1], [3.0, 3.0], output_bias=500.0)
+        # Positive bias means "plant is slower than modeled" -> allocate more.
+        assert s1.delta_c.sum() > s0.delta_c.sum()
+
+    def test_power_weight_drains_excess(self, simple_arx):
+        """With tracking satisfied and no terminal pin, a positive power
+        weight pushes allocations down."""
+        cfg = MPCConfig(r_weight=1e4, terminal_constraint=False, power_weight=500.0)
+        ctrl = MPCController(simple_arx, cfg)
+        c = np.array([0.6, 0.6])
+        ts = float((simple_arx.g + simple_arx.b.sum(axis=0) @ c) / (1 - simple_arx.a.sum()))
+        ref = np.full(8, ts)
+        sol = ctrl.solve([ts], np.tile(c, (2, 1)), ref, ts, [0.1, 0.1], [3.0, 3.0])
+        assert sol.delta_c.sum() < 0
+
+    def test_reference_length_checked(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig())
+        with pytest.raises(ValueError):
+            ctrl.solve([1000.0], np.ones((2, 2)), np.ones(3), 1000.0, [0.1, 0.1], [3.0, 3.0])
+
+
+class TestClosedLoop:
+    def test_converges_from_above(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1e4))
+        assert closed_loop_converges(
+            simple_arx, ctrl, setpoint=1000.0, t_initial=2200.0,
+            c_initial=[0.4, 0.4], c_min=[0.1, 0.1], c_max=[3.0, 3.0],
+            reference_fn=_ref_fn(1000.0),
+        )
+
+    def test_converges_from_below(self, simple_arx):
+        ctrl = MPCController(simple_arx, MPCConfig(r_weight=1e4))
+        assert closed_loop_converges(
+            simple_arx, ctrl, setpoint=1000.0, t_initial=300.0,
+            c_initial=[1.5, 1.5], c_min=[0.1, 0.1], c_max=[3.0, 3.0],
+            reference_fn=_ref_fn(1000.0),
+        )
+
+    def test_raw_mpc_has_offset_under_model_mismatch(self, simple_arx):
+        """Without the disturbance estimate, coefficient mismatch leaves a
+        steady-state offset — the motivation for the bias correction."""
+        perturbed = ARXModel(a=simple_arx.a * 0.7, b=simple_arx.b * 1.6, g=simple_arx.g)
+        ctrl = MPCController(perturbed, MPCConfig(r_weight=1e4))
+        assert not closed_loop_converges(
+            simple_arx, ctrl, setpoint=1000.0, t_initial=2000.0,
+            c_initial=[0.4, 0.4], c_min=[0.1, 0.1], c_max=[3.0, 3.0],
+            reference_fn=_ref_fn(1000.0), n_steps=80, tol=0.05,
+        )
+
+    def test_bias_correction_removes_mismatch_offset(self, simple_arx):
+        """The full response-time controller (offset-free MPC) shrinks the
+        mismatch offset to a few percent — the raw MPC above sits ~80%
+        away.  (A constant output-disturbance estimate cannot null the
+        offset exactly when the autoregressive coefficient is wrong.)"""
+        from repro.core.controller import ControllerConfig, ResponseTimeController
+
+        perturbed = ARXModel(a=simple_arx.a * 0.7, b=simple_arx.b * 1.6, g=simple_arx.g)
+        ctrl = ResponseTimeController(
+            perturbed,
+            ControllerConfig(
+                setpoint_ms=1000.0,
+                util_band=None,
+                mpc=MPCConfig(r_weight=1e5, delta_max=0.3, power_weight=0.0),
+            ),
+            c_min=[0.1, 0.1], c_max=[3.0, 3.0], initial_alloc_ghz=[0.4, 0.4],
+        )
+        t_hist = [2000.0]
+        c_hist = [np.array([0.4, 0.4])] * 2
+        t_k = 2000.0
+        for _ in range(80):
+            c_next = ctrl.update(t_k)
+            c_hist.insert(0, c_next)
+            c_hist = c_hist[:2]
+            t_k = simple_arx.one_step(t_hist, np.asarray(c_hist))
+            t_hist = [t_k]
+        assert t_k == pytest.approx(1000.0, rel=0.08)
+
+
+class TestReferenceTrajectory:
+    def test_starts_near_measurement_and_ends_at_setpoint(self):
+        ref = exponential_reference(2000.0, 1000.0, 50, 15.0, 30.0)
+        assert 1000.0 < ref[0] < 2000.0
+        assert ref[-1] == pytest.approx(1000.0, abs=1.0)
+
+    def test_monotone_approach(self):
+        ref = exponential_reference(2000.0, 1000.0, 20, 15.0, 30.0)
+        assert np.all(np.diff(ref) < 0)
+        ref_up = exponential_reference(500.0, 1000.0, 20, 15.0, 30.0)
+        assert np.all(np.diff(ref_up) > 0)
+
+    def test_time_constant_controls_speed(self):
+        fast = exponential_reference(2000.0, 1000.0, 5, 15.0, 10.0)
+        slow = exponential_reference(2000.0, 1000.0, 5, 15.0, 100.0)
+        assert fast[0] < slow[0]
+
+    def test_at_setpoint_flat(self):
+        ref = exponential_reference(1000.0, 1000.0, 5, 15.0, 30.0)
+        np.testing.assert_allclose(ref, 1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_reference(1.0, 1.0, 0, 15.0, 30.0)
+        with pytest.raises(ValueError):
+            exponential_reference(1.0, 1.0, 5, -1.0, 30.0)

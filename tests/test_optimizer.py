@@ -1,0 +1,470 @@
+"""Optimizer: types, Minimum Slack wrapper, PAC, IPAC, pMapper, policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.migration import LiveMigrationModel
+from repro.core.optimizer import (
+    AllowAllPolicy,
+    BandwidthBudgetPolicy,
+    BenefitThresholdPolicy,
+    IPACConfig,
+    Migration,
+    MigrationContext,
+    MinSlackConfig,
+    PACConfig,
+    PlacementProblem,
+    ipac,
+    pac,
+    pmapper,
+    select_vms_for_server,
+    sort_servers_by_efficiency,
+)
+from repro.core.optimizer.pmapper import PMapperConfig
+from repro.core.optimizer.types import ServerInfo, VMInfo
+
+from tests.conftest import check_plan_feasible, make_server_info, make_vm_info
+
+
+class TestTypes:
+    def test_duplicate_ids_rejected(self):
+        s = make_server_info("s1")
+        with pytest.raises(ValueError):
+            PlacementProblem((s, s), (), {})
+        v = make_vm_info("v1")
+        with pytest.raises(ValueError):
+            PlacementProblem((s,), (v, v), {})
+
+    def test_mapping_reference_checked(self):
+        s = make_server_info("s1")
+        v = make_vm_info("v1")
+        with pytest.raises(ValueError):
+            PlacementProblem((s,), (v,), {"v1": "nope"})
+        with pytest.raises(ValueError):
+            PlacementProblem((s,), (v,), {"ghost": "s1"})
+
+    def test_lookups(self):
+        s = make_server_info("s1")
+        v = make_vm_info("v1", demand=1.5)
+        p = PlacementProblem((s,), (v,), {"v1": "s1"})
+        assert p.server_by_id("s1") is s
+        assert p.vm_by_id("v1") is v
+        assert p.server_load_ghz("s1") == pytest.approx(1.5)
+        with pytest.raises(KeyError):
+            p.server_by_id("zzz")
+
+    def test_vm_info_validation(self):
+        with pytest.raises(ValueError):
+            VMInfo("v", -1.0, 100)
+        with pytest.raises(ValueError):
+            ServerInfo("s", 0.0, 100, 0.1, True, 10, 20, 1)
+
+
+class TestSortServers:
+    def test_descending_by_efficiency(self):
+        servers = [
+            make_server_info("a", efficiency=0.02),
+            make_server_info("b", efficiency=0.05),
+            make_server_info("c", efficiency=0.03),
+        ]
+        out = sort_servers_by_efficiency(servers)
+        assert [s.server_id for s in out] == ["b", "c", "a"]
+
+    def test_tie_broken_by_id(self):
+        servers = [
+            make_server_info("z", efficiency=0.02),
+            make_server_info("a", efficiency=0.02),
+        ]
+        out = sort_servers_by_efficiency(servers)
+        assert [s.server_id for s in out] == ["a", "z"]
+
+    def test_ascending(self):
+        servers = [
+            make_server_info("a", efficiency=0.02),
+            make_server_info("b", efficiency=0.05),
+        ]
+        out = sort_servers_by_efficiency(servers, descending=False)
+        assert [s.server_id for s in out] == ["a", "b"]
+
+
+class TestSelectVMs:
+    def test_fills_capacity(self):
+        vms = [make_vm_info(f"v{i}", demand=d) for i, d in enumerate([3.0, 2.0, 1.0])]
+        chosen, result = select_vms_for_server(4.0, 1e9, vms)
+        assert sum(v.demand_ghz for v in chosen) == pytest.approx(4.0)
+        assert result.slack == pytest.approx(0.0)
+
+    def test_memory_respected(self):
+        vms = [
+            make_vm_info("big", demand=1.0, memory=4000),
+            make_vm_info("small", demand=1.0, memory=500),
+        ]
+        chosen, _ = select_vms_for_server(4.0, 1000.0, vms)
+        assert [v.vm_id for v in chosen] == ["small"]
+
+    def test_zero_capacity(self):
+        chosen, _ = select_vms_for_server(0.0, 100.0, [make_vm_info("v", 1.0)])
+        assert chosen == []
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            select_vms_for_server(-1.0, 100.0, [])
+        with pytest.raises(ValueError):
+            MinSlackConfig(epsilon_ghz=-1.0)
+
+
+class TestPAC:
+    def test_places_all_when_capacity_suffices(self, heterogeneous_problem):
+        plan = pac(heterogeneous_problem)
+        assert plan.unplaced == []
+        assert len(plan.final_mapping) == len(heterogeneous_problem.vms)
+        check_plan_feasible(heterogeneous_problem, plan)
+
+    def test_prefers_efficient_server(self, heterogeneous_problem):
+        plan = pac(heterogeneous_problem)
+        # Total demand 4.5 GHz fits entirely on sA (12 GHz, most efficient).
+        assert set(plan.final_mapping.values()) == {"sA"}
+
+    def test_wakes_inactive_servers_only_when_needed(self, heterogeneous_problem):
+        plan = pac(heterogeneous_problem)
+        assert plan.wake == []  # everything fit on the active sA
+
+    def test_spills_to_next_server(self):
+        servers = (
+            make_server_info("good", capacity=2.0, efficiency=0.05),
+            make_server_info("bad", capacity=2.0, efficiency=0.01, active=False),
+        )
+        vms = tuple(make_vm_info(f"v{i}", demand=1.0, memory=100) for i in range(3))
+        plan = pac(PlacementProblem(servers, vms, {}), config=PACConfig(target_utilization=1.0))
+        hosts = set(plan.final_mapping.values())
+        assert hosts == {"good", "bad"}
+        assert plan.wake == ["bad"]
+
+    def test_target_utilization_caps_fill(self):
+        servers = (make_server_info("s", capacity=10.0),)
+        vms = tuple(make_vm_info(f"v{i}", demand=1.0, memory=10) for i in range(10))
+        plan = pac(PlacementProblem(servers, vms, {}), config=PACConfig(target_utilization=0.5))
+        placed = [v for v in plan.final_mapping.values()]
+        assert len(placed) == 5
+        assert len(plan.unplaced) == 5
+
+    def test_partial_replace_keeps_others(self):
+        servers = (
+            make_server_info("s1", capacity=4.0),
+            make_server_info("s2", capacity=4.0, efficiency=0.02),
+        )
+        vms = (make_vm_info("stay", 2.0, 100), make_vm_info("move", 1.0, 100))
+        problem = PlacementProblem(servers, vms, {"stay": "s2", "move": "s2"})
+        plan = pac(problem, vms_to_place=["move"])
+        assert plan.final_mapping["stay"] == "s2"
+        assert plan.final_mapping["move"] == "s1"  # most efficient has room
+
+    def test_unplaceable_vm_stays_put(self):
+        servers = (make_server_info("s1", capacity=1.0),)
+        vms = (make_vm_info("huge", 5.0, 100),)
+        problem = PlacementProblem(servers, vms, {"huge": "s1"})
+        plan = pac(problem, vms_to_place=["huge"])
+        assert plan.unplaced == ["huge"]
+        assert plan.final_mapping["huge"] == "s1"
+
+    def test_sleeps_emptied_servers(self):
+        servers = (
+            make_server_info("eff", capacity=8.0, efficiency=0.05),
+            make_server_info("old", capacity=8.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("v1", 1.0, 100),)
+        problem = PlacementProblem(servers, vms, {"v1": "old"})
+        plan = pac(problem)
+        assert plan.final_mapping["v1"] == "eff"
+        assert plan.sleep == ["old"]
+
+    def test_duplicate_vms_to_place_rejected(self, heterogeneous_problem):
+        with pytest.raises(ValueError):
+            pac(heterogeneous_problem, vms_to_place=["vm0", "vm0"])
+
+    def test_unknown_vm_rejected(self, heterogeneous_problem):
+        with pytest.raises(KeyError):
+            pac(heterogeneous_problem, vms_to_place=["nope"])
+
+
+class TestIPAC:
+    def test_initial_placement(self, heterogeneous_problem):
+        plan = ipac(heterogeneous_problem)
+        assert plan.unplaced == []
+        check_plan_feasible(heterogeneous_problem, plan)
+        assert plan.info["new_placements"] == len(heterogeneous_problem.vms)
+
+    def test_overload_relief_mandatory(self):
+        servers = (
+            make_server_info("hot", capacity=4.0, efficiency=0.01),
+            make_server_info("cold", capacity=8.0, efficiency=0.05, active=False),
+        )
+        vms = (
+            make_vm_info("v1", 3.0, 100),
+            make_vm_info("v2", 2.0, 100),
+        )
+        problem = PlacementProblem(servers, vms, {"v1": "hot", "v2": "hot"})
+        plan = ipac(problem)
+        check_plan_feasible(problem, plan)
+        loads = {}
+        for vm_id, sid in plan.final_mapping.items():
+            loads[sid] = loads.get(sid, 0.0) + problem.vm_by_id(vm_id).demand_ghz
+        assert all(l <= problem.server_by_id(s).max_capacity_ghz + 1e-9 for s, l in loads.items())
+        assert plan.info["overload_evictions"] >= 1
+
+    def test_drains_least_efficient_server(self):
+        servers = (
+            make_server_info("eff", capacity=12.0, efficiency=0.05),
+            make_server_info("mid", capacity=4.0, efficiency=0.03),
+            make_server_info("old", capacity=4.0, efficiency=0.01),
+        )
+        vms = (
+            make_vm_info("a", 2.0, 100),
+            make_vm_info("b", 1.5, 100),
+            make_vm_info("c", 1.0, 100),
+        )
+        mapping = {"a": "eff", "b": "mid", "c": "old"}
+        plan = ipac(PlacementProblem(servers, vms, mapping))
+        # Everything fits on 'eff'; both inefficient hosts drain and sleep.
+        assert set(plan.final_mapping.values()) == {"eff"}
+        assert sorted(plan.sleep) == ["mid", "old"]
+        assert plan.info["drain_rounds_accepted"] >= 2
+
+    def test_stops_when_no_improvement(self):
+        # Two servers, each full: draining cannot reduce the count.
+        servers = (
+            make_server_info("s1", capacity=2.0, efficiency=0.05),
+            make_server_info("s2", capacity=2.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("a", 1.9, 100), make_vm_info("b", 1.9, 100))
+        mapping = {"a": "s1", "b": "s2"}
+        plan = ipac(PlacementProblem(servers, vms, mapping),
+                    IPACConfig(pac=PACConfig(target_utilization=1.0)))
+        assert plan.final_mapping == mapping
+        assert plan.migrations == []
+
+    def test_no_churn_at_steady_state(self, heterogeneous_problem):
+        first = ipac(heterogeneous_problem)
+        problem2 = PlacementProblem(
+            heterogeneous_problem.servers,
+            heterogeneous_problem.vms,
+            first.final_mapping,
+        )
+        second = ipac(problem2)
+        assert second.migrations == []
+
+    def test_cost_policy_rejects_non_mandatory(self):
+        class RejectAll(AllowAllPolicy):
+            def allow(self, context):
+                return context.mandatory
+
+        servers = (
+            make_server_info("eff", capacity=12.0, efficiency=0.05),
+            make_server_info("old", capacity=4.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("a", 1.0, 100),)
+        problem = PlacementProblem(servers, vms, {"a": "old"})
+        plan = ipac(problem, IPACConfig(cost_policy=RejectAll()))
+        assert plan.final_mapping["a"] == "old"  # rolled back
+        assert plan.info["migrations_rejected"] == 1
+
+    def test_max_drain_rounds_zero_keeps_placement(self):
+        servers = (
+            make_server_info("eff", capacity=12.0, efficiency=0.05),
+            make_server_info("old", capacity=4.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("a", 1.0, 100),)
+        problem = PlacementProblem(servers, vms, {"a": "old"})
+        plan = ipac(problem, IPACConfig(max_drain_rounds=0))
+        assert plan.final_mapping["a"] == "old"
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_problems_feasible_and_complete(self, data):
+        n_srv = data.draw(st.integers(2, 6))
+        n_vms = data.draw(st.integers(1, 10))
+        servers = tuple(
+            make_server_info(
+                f"s{i}",
+                capacity=data.draw(st.floats(2.0, 12.0)),
+                memory=data.draw(st.sampled_from([4096.0, 8192.0, 16384.0])),
+                efficiency=data.draw(st.floats(0.01, 0.06)),
+                active=data.draw(st.booleans()),
+            )
+            for i in range(n_srv)
+        )
+        vms = tuple(
+            make_vm_info(
+                f"v{j}",
+                demand=data.draw(st.floats(0.1, 1.5)),
+                memory=data.draw(st.sampled_from([512.0, 1024.0, 2048.0])),
+            )
+            for j in range(n_vms)
+        )
+        problem = PlacementProblem(servers, vms, {})
+        plan = ipac(problem)
+        check_plan_feasible(problem, plan)
+        # When capacity is generous in BOTH dimensions, everything places.
+        total_cap = sum(s.max_capacity_ghz for s in servers)
+        total_dem = sum(v.demand_ghz for v in vms)
+        total_mem_cap = sum(s.memory_mb for s in servers)
+        total_mem_dem = sum(v.memory_mb for v in vms)
+        if total_dem < 0.5 * total_cap and total_mem_dem < 0.5 * total_mem_cap:
+            assert plan.unplaced == []
+
+
+class TestPMapper:
+    def test_initial_placement(self, heterogeneous_problem):
+        plan = pmapper(heterogeneous_problem)
+        assert plan.unplaced == []
+        check_plan_feasible(heterogeneous_problem, plan)
+
+    def test_consolidates_to_efficient_servers(self):
+        servers = (
+            make_server_info("eff", capacity=12.0, efficiency=0.05),
+            make_server_info("old", capacity=12.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("a", 1.0, 100), make_vm_info("b", 1.0, 100))
+        mapping = {"a": "old", "b": "old"}
+        plan = pmapper(PlacementProblem(servers, vms, mapping))
+        assert set(plan.final_mapping.values()) == {"eff"}
+        assert plan.sleep == ["old"]
+
+    def test_no_churn_at_steady_state(self):
+        servers = (
+            make_server_info("eff", capacity=12.0, efficiency=0.05),
+            make_server_info("old", capacity=12.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("a", 1.0, 100), make_vm_info("b", 1.0, 100))
+        first = pmapper(PlacementProblem(servers, vms, {}))
+        second = pmapper(PlacementProblem(servers, vms, first.final_mapping))
+        assert second.migrations == []
+
+    def test_donor_sheds_smallest_first(self):
+        servers = (
+            make_server_info("eff", capacity=3.0, efficiency=0.05),
+            make_server_info("old", capacity=12.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("big", 2.5, 100), make_vm_info("small", 0.5, 100))
+        mapping = {"big": "old", "small": "old"}
+        plan = pmapper(PlacementProblem(servers, vms, mapping),
+                       PMapperConfig(target_utilization=1.0))
+        # Target: both on eff is impossible (3.0 < 3.0 exact fit is allowed:
+        # 2.5 + 0.5 = 3.0). FFD places big then small on eff.
+        assert plan.final_mapping["big"] == "eff"
+        assert plan.final_mapping["small"] == "eff"
+
+    def test_respects_memory(self):
+        servers = (
+            make_server_info("eff", capacity=12.0, memory=1000.0, efficiency=0.05),
+            make_server_info("old", capacity=12.0, memory=8192.0, efficiency=0.01),
+        )
+        vms = (make_vm_info("a", 1.0, 900.0), make_vm_info("b", 1.0, 900.0))
+        plan = pmapper(PlacementProblem(servers, vms, {}))
+        check_plan_feasible(PlacementProblem(servers, vms, {}), plan)
+        assert len(plan.final_mapping) == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_problems_feasible(self, data):
+        n_srv = data.draw(st.integers(1, 5))
+        n_vms = data.draw(st.integers(1, 10))
+        servers = tuple(
+            make_server_info(
+                f"s{i}",
+                capacity=data.draw(st.floats(2.0, 12.0)),
+                efficiency=data.draw(st.floats(0.01, 0.06)),
+                active=data.draw(st.booleans()),
+            )
+            for i in range(n_srv)
+        )
+        vms = tuple(
+            make_vm_info(f"v{j}", demand=data.draw(st.floats(0.1, 1.5)))
+            for j in range(n_vms)
+        )
+        problem = PlacementProblem(servers, vms, {})
+        plan = pmapper(problem)
+        check_plan_feasible(problem, plan)
+
+
+class TestMinSlackBeatsFFD:
+    def test_packing_quality_on_adversarial_instance(self):
+        """Minimum Slack fills a bin exactly where FFD leaves slack —
+        the packing-quality edge the paper credits IPAC with."""
+        servers = (make_server_info("s", capacity=6.0),)
+        vms = (
+            make_vm_info("a", 5.0, 10),
+            make_vm_info("b", 4.0, 10),
+            make_vm_info("c", 2.0, 10),
+        )
+        problem = PlacementProblem(servers, vms, {})
+        pac_plan = pac(problem, config=PACConfig(target_utilization=1.0))
+        pac_load = sum(
+            v.demand_ghz for v in vms if pac_plan.final_mapping.get(v.vm_id) == "s"
+        )
+        pm_plan = pmapper(problem, PMapperConfig(target_utilization=1.0))
+        pm_load = sum(
+            v.demand_ghz for v in vms if pm_plan.final_mapping.get(v.vm_id) == "s"
+        )
+        assert pac_load == pytest.approx(6.0)  # picks 4 + 2
+        assert pm_load == pytest.approx(5.0)   # FFD grabs 5 first
+
+
+class TestMigrationPolicies:
+    def _context(self, mandatory=False, benefit=50.0, memory=1024.0):
+        vm = make_vm_info("v", 1.0, memory)
+        src = make_server_info("src", efficiency=0.01)
+        dst = make_server_info("dst", efficiency=0.05)
+        return MigrationContext(
+            migration=Migration("v", "src", "dst"),
+            vm=vm,
+            source=src,
+            target=dst,
+            estimated_benefit_w=benefit,
+            migration_model=LiveMigrationModel(),
+            mandatory=mandatory,
+        )
+
+    def test_allow_all(self):
+        assert AllowAllPolicy().allow(self._context())
+
+    def test_benefit_threshold_accepts_big_savings(self):
+        policy = BenefitThresholdPolicy(amortization_horizon_s=3600.0)
+        assert policy.allow(self._context(benefit=100.0))
+
+    def test_benefit_threshold_rejects_tiny_savings(self):
+        policy = BenefitThresholdPolicy(
+            amortization_horizon_s=10.0, overhead_w=100.0, safety_factor=10.0
+        )
+        assert not policy.allow(self._context(benefit=0.01))
+
+    def test_benefit_threshold_always_allows_mandatory(self):
+        policy = BenefitThresholdPolicy(
+            amortization_horizon_s=1.0, overhead_w=1e6, safety_factor=100.0
+        )
+        assert policy.allow(self._context(mandatory=True, benefit=0.0))
+
+    def test_bandwidth_budget_exhausts(self):
+        policy = BandwidthBudgetPolicy(budget_mb_per_invocation=2000.0)
+        ctx = self._context(memory=1024.0)  # ~1331 MB with dirty factor 1.3
+        assert policy.allow(ctx)
+        assert not policy.allow(ctx)  # budget spent
+        policy.reset()
+        assert policy.allow(ctx)
+
+    def test_bandwidth_budget_mandatory_bypasses(self):
+        policy = BandwidthBudgetPolicy(budget_mb_per_invocation=1.0)
+        assert policy.allow(self._context(mandatory=True))
+
+    def test_context_cost_properties(self):
+        ctx = self._context(memory=1000.0)
+        assert ctx.cost_traffic_mb == pytest.approx(1300.0)
+        assert ctx.cost_duration_s > 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BenefitThresholdPolicy(amortization_horizon_s=0.0)
+        with pytest.raises(ValueError):
+            BandwidthBudgetPolicy(0.0)

@@ -1,0 +1,214 @@
+"""Bin-packing substrate: first-fit family and Minimum Bin Slack."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packing import (
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    minimum_bin_slack,
+)
+from repro.packing.mbs import CompositeConstraint, MemoryConstraint, PackingConstraint
+
+
+def _loads(assignment, sizes, n_bins, dim):
+    loads = np.zeros(n_bins)
+    for i, b in enumerate(assignment):
+        if b is not None:
+            loads[b] += sizes[i][dim]
+    return loads
+
+
+class TestFirstFit:
+    def test_simple_sequence(self):
+        sizes = [[3.0], [3.0], [3.0]]
+        caps = [[4.0], [4.0], [4.0]]
+        assert first_fit(sizes, caps) == [0, 1, 2]
+
+    def test_fills_before_moving_on(self):
+        sizes = [[2.0], [2.0], [2.0]]
+        caps = [[4.0], [4.0]]
+        assert first_fit(sizes, caps) == [0, 0, 1]
+
+    def test_unplaceable_returns_none(self):
+        assert first_fit([[5.0]], [[4.0]]) == [None]
+
+    def test_respects_existing_usage(self):
+        out = first_fit([[2.0]], [[4.0]], bin_used=[[3.0]])
+        assert out == [None]
+
+    def test_vector_dimensions_all_checked(self):
+        sizes = [[1.0, 3000.0]]
+        caps = [[4.0, 2048.0], [4.0, 4096.0]]
+        assert first_fit(sizes, caps) == [1]
+
+    def test_ffd_sorts_by_dimension(self):
+        sizes = [[1.0], [3.0], [2.0]]
+        caps = [[3.0], [3.0]]
+        out = first_fit_decreasing(sizes, caps)
+        # 3 -> bin0; 2 -> bin1; 1 -> bin1.
+        assert out == [1, 0, 1]
+
+    def test_ffd_returns_original_order(self):
+        sizes = [[1.0], [5.0], [2.0]]
+        caps = [[10.0]]
+        out = first_fit_decreasing(sizes, caps)
+        assert out == [0, 0, 0]
+
+    def test_bfd_prefers_tightest_fit(self):
+        sizes = [[2.0]]
+        caps = [[10.0], [2.5]]
+        assert best_fit_decreasing(sizes, caps) == [1]
+
+    def test_empty_items(self):
+        assert first_fit_decreasing([], [[1.0]]) == []
+        assert best_fit_decreasing([], [[1.0]]) == []
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit([[-1.0]], [[4.0]])
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_feasibility_invariant(self, data):
+        """No assigned bin ever exceeds capacity in any dimension."""
+        n_items = data.draw(st.integers(1, 12))
+        n_bins = data.draw(st.integers(1, 6))
+        sizes = [
+            [data.draw(st.floats(0.1, 3.0)), data.draw(st.floats(10, 2000))]
+            for _ in range(n_items)
+        ]
+        caps = [
+            [data.draw(st.floats(1.0, 6.0)), data.draw(st.floats(500, 4000))]
+            for _ in range(n_bins)
+        ]
+        for algo in (first_fit, first_fit_decreasing, best_fit_decreasing):
+            out = algo(sizes, caps)
+            for dim in (0, 1):
+                loads = _loads(out, sizes, n_bins, dim)
+                assert np.all(loads <= np.asarray(caps)[:, dim] + 1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_ffd_uses_no_more_bins_than_ff(self, data):
+        n_items = data.draw(st.integers(1, 10))
+        sizes = [[data.draw(st.floats(0.1, 1.0))] for _ in range(n_items)]
+        caps = [[1.0] for _ in range(n_items)]
+        ff = first_fit(sizes, caps)
+        ffd = first_fit_decreasing(sizes, caps)
+        used_ff = len({b for b in ff if b is not None})
+        used_ffd = len({b for b in ffd if b is not None})
+        assert used_ffd <= used_ff
+
+
+class TestMinimumBinSlack:
+    def test_exact_fill_found(self):
+        res = minimum_bin_slack([3.0, 2.0, 1.0, 5.0], capacity=6.0)
+        assert res.slack == pytest.approx(0.0)
+        chosen = sum([3.0, 2.0, 1.0, 5.0][i] for i in res.selected)
+        assert chosen == pytest.approx(6.0)
+
+    def test_better_than_greedy(self):
+        """Greedy decreasing picks 5 then nothing fits (slack 1); MBS finds
+        4 + 2 (slack 0)."""
+        res = minimum_bin_slack([5.0, 4.0, 2.0], capacity=6.0)
+        assert res.slack == pytest.approx(0.0)
+        assert sorted([5.0, 4.0, 2.0][i] for i in res.selected) == [2.0, 4.0]
+
+    def test_empty_items(self):
+        res = minimum_bin_slack([], capacity=5.0)
+        assert res.selected == ()
+        assert res.slack == 5.0
+
+    def test_zero_capacity(self):
+        res = minimum_bin_slack([1.0, 2.0], capacity=0.0)
+        assert res.selected == ()
+        assert res.slack == 0.0
+        assert res.early_exit
+
+    def test_epsilon_early_exit(self):
+        res = minimum_bin_slack([3.0, 2.0, 1.0], capacity=6.0, epsilon=1.5)
+        assert res.slack <= 1.5
+        assert res.early_exit
+
+    def test_memory_constraint_blocks_items(self):
+        sizes = [4.0, 3.0, 3.0]
+        mems = [3000.0, 500.0, 500.0]
+        res = minimum_bin_slack(
+            sizes, capacity=7.0,
+            constraint=MemoryConstraint(mems, memory_capacity=1500.0),
+        )
+        # Item 0 never fits memory; best CPU fill is 3 + 3 = 6.
+        assert 0 not in res.selected
+        assert res.slack == pytest.approx(1.0)
+
+    def test_constraint_state_restored_after_search(self):
+        mems = [500.0, 500.0]
+        constraint = MemoryConstraint(mems, 2000.0)
+        minimum_bin_slack([1.0, 2.0], 5.0, constraint=constraint)
+        assert constraint.used == pytest.approx(0.0)
+
+    def test_composite_constraint(self):
+        class Reject1(PackingConstraint):
+            def accepts(self, idx):
+                return idx != 1
+        comp = CompositeConstraint([Reject1(), MemoryConstraint([10, 10, 10], 100)])
+        res = minimum_bin_slack([2.0, 2.0, 2.0], 6.0, constraint=comp)
+        assert 1 not in res.selected
+
+    def test_step_budget_epsilon_escalation(self):
+        """With a 1-step budget, epsilon escalates and the search still
+        terminates with a feasible answer."""
+        sizes = list(np.linspace(0.1, 1.0, 12))
+        res = minimum_bin_slack(sizes, capacity=3.0, max_steps=1, epsilon_step=0.5)
+        assert res.epsilon_used > 0.0
+        assert res.slack <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_bin_slack([-1.0], 5.0)
+        with pytest.raises(ValueError):
+            minimum_bin_slack([1.0], -5.0)
+        with pytest.raises(ValueError):
+            minimum_bin_slack([1.0], 5.0, epsilon=-0.1)
+        with pytest.raises(ValueError):
+            minimum_bin_slack([1.0], 5.0, max_steps=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_matches_bruteforce_on_small_instances(self, data):
+        n = data.draw(st.integers(1, 8))
+        sizes = [data.draw(st.floats(0.1, 4.0)) for _ in range(n)]
+        capacity = data.draw(st.floats(1.0, 8.0))
+        res = minimum_bin_slack(sizes, capacity, epsilon=0.0, max_steps=10**6)
+        # Brute force over all subsets.
+        best = capacity
+        for mask in itertools.product([0, 1], repeat=n):
+            total = sum(s for s, b in zip(sizes, mask) if b)
+            if total <= capacity + 1e-9:
+                best = min(best, capacity - total)
+        assert res.slack == pytest.approx(best, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_selection_always_feasible(self, data):
+        n = data.draw(st.integers(1, 10))
+        sizes = [data.draw(st.floats(0.1, 4.0)) for _ in range(n)]
+        mems = [data.draw(st.floats(100, 2000)) for _ in range(n)]
+        capacity = data.draw(st.floats(0.5, 6.0))
+        mem_cap = data.draw(st.floats(500, 4000))
+        res = minimum_bin_slack(
+            sizes, capacity, constraint=MemoryConstraint(mems, mem_cap),
+            epsilon=0.05, max_steps=2000,
+        )
+        total = sum(sizes[i] for i in res.selected)
+        total_mem = sum(mems[i] for i in res.selected)
+        assert total <= capacity + 1e-9
+        assert total_mem <= mem_cap + 1e-9
+        assert res.slack == pytest.approx(capacity - total)
+        assert len(set(res.selected)) == len(res.selected)  # no duplicates

@@ -1,0 +1,143 @@
+"""Active-set QP solver, validated against SciPy on random problems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import optimize
+
+from repro.control.qp import solve_qp
+
+
+def _scipy_reference(H, g, A_eq=None, b_eq=None, A_ub=None, b_ub=None):
+    n = g.shape[0]
+    cons = []
+    if A_eq is not None:
+        cons.append(optimize.LinearConstraint(A_eq, b_eq, b_eq))
+    if A_ub is not None:
+        cons.append(optimize.LinearConstraint(A_ub, -np.inf, b_ub))
+    res = optimize.minimize(
+        lambda x: 0.5 * x @ H @ x + g @ x,
+        np.zeros(n),
+        jac=lambda x: H @ x + g,
+        constraints=cons,
+        method="trust-constr",
+        options={"maxiter": 3000, "gtol": 1e-10},
+    )
+    return res.x, res.fun
+
+
+class TestUnconstrained:
+    def test_quadratic_minimum(self):
+        H = 2.0 * np.eye(2)
+        g = np.array([-2.0, -4.0])
+        r = solve_qp(H, g)
+        assert r.ok
+        np.testing.assert_allclose(r.x, [1.0, 2.0], atol=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_qp(np.eye(3), np.zeros(2))
+
+
+class TestEquality:
+    def test_projection_onto_plane(self):
+        # min |x|^2 s.t. x0 + x1 = 2 -> (1, 1)
+        r = solve_qp(2 * np.eye(2), np.zeros(2), A_eq=[[1.0, 1.0]], b_eq=[2.0])
+        np.testing.assert_allclose(r.x, [1.0, 1.0], atol=1e-9)
+
+    def test_multiple_equalities(self):
+        H = 2 * np.eye(3)
+        A = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        b = np.array([3.0, -1.0])
+        r = solve_qp(H, np.zeros(3), A_eq=A, b_eq=b)
+        np.testing.assert_allclose(r.x, [3.0, -1.0, 0.0], atol=1e-9)
+
+
+class TestInequality:
+    def test_active_inequality(self):
+        # min (x0-1)^2 + (x1-2)^2 s.t. x0 + x1 <= 2 -> (0.5, 1.5)
+        r = solve_qp(2 * np.eye(2), np.array([-2.0, -4.0]),
+                     A_ub=[[1.0, 1.0]], b_ub=[2.0])
+        np.testing.assert_allclose(r.x, [0.5, 1.5], atol=1e-8)
+        assert r.active_set == (0,)
+
+    def test_inactive_inequality_ignored(self):
+        r = solve_qp(2 * np.eye(2), np.array([-2.0, -4.0]),
+                     A_ub=[[1.0, 1.0]], b_ub=[100.0])
+        np.testing.assert_allclose(r.x, [1.0, 2.0], atol=1e-9)
+        assert r.active_set == ()
+
+    def test_box_constraints(self):
+        # min (x-5)^2 s.t. x <= 1, -x <= 0
+        r = solve_qp(np.array([[2.0]]), np.array([-10.0]),
+                     A_ub=[[1.0], [-1.0]], b_ub=[1.0, 0.0])
+        np.testing.assert_allclose(r.x, [1.0], atol=1e-9)
+
+    def test_mixed_eq_and_ineq(self):
+        # min |x|^2 s.t. x0 + x1 = 4, x0 <= 1 -> (1, 3)
+        r = solve_qp(2 * np.eye(2), np.zeros(2),
+                     A_eq=[[1.0, 1.0]], b_eq=[4.0],
+                     A_ub=[[1.0, 0.0]], b_ub=[1.0])
+        np.testing.assert_allclose(r.x, [1.0, 3.0], atol=1e-8)
+
+    def test_constraint_add_then_drop(self):
+        """A constraint activated early in the search must be dropped when
+        its multiplier turns negative."""
+        # min (x0-2)^2 + (x1-2)^2 s.t. x0 <= 1, x0 + x1 <= 10.
+        r = solve_qp(2 * np.eye(2), np.array([-4.0, -4.0]),
+                     A_ub=[[1.0, 0.0], [1.0, 1.0]], b_ub=[1.0, 10.0])
+        np.testing.assert_allclose(r.x, [1.0, 2.0], atol=1e-8)
+        assert r.active_set == (0,)
+
+
+class TestAgainstScipy:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), n=st.integers(2, 6), m=st.integers(0, 8))
+    def test_random_inequality_qps(self, data, n, m):
+        seed = data.draw(st.integers(0, 10_000))
+        rng = np.random.default_rng(seed)
+        L = rng.normal(size=(n, n))
+        H = L @ L.T + n * np.eye(n)  # well-conditioned SPD
+        g = rng.normal(scale=3.0, size=n)
+        A_ub = rng.normal(size=(m, n)) if m else None
+        b_ub = rng.uniform(0.5, 3.0, size=m) if m else None  # x=0 feasible
+        ours = solve_qp(H, g, A_ub=A_ub, b_ub=b_ub)
+        assert ours.ok
+        ref_x, ref_f = _scipy_reference(H, g, A_ub=A_ub, b_ub=b_ub)
+        our_f = 0.5 * ours.x @ H @ ours.x + g @ ours.x
+        assert our_f <= ref_f + 1e-5 * (1 + abs(ref_f))
+        if A_ub is not None:
+            assert np.max(A_ub @ ours.x - b_ub) <= 1e-7
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), n=st.integers(2, 5))
+    def test_random_equality_qps(self, data, n):
+        seed = data.draw(st.integers(0, 10_000))
+        rng = np.random.default_rng(seed)
+        L = rng.normal(size=(n, n))
+        H = L @ L.T + n * np.eye(n)
+        g = rng.normal(size=n)
+        A_eq = rng.normal(size=(1, n))
+        b_eq = rng.normal(size=1)
+        ours = solve_qp(H, g, A_eq=A_eq, b_eq=b_eq)
+        assert ours.ok
+        assert abs(A_eq @ ours.x - b_eq)[0] < 1e-7
+        ref_x, ref_f = _scipy_reference(H, g, A_eq=A_eq, b_eq=b_eq)
+        our_f = 0.5 * ours.x @ H @ ours.x + g @ ours.x
+        assert our_f <= ref_f + 1e-5 * (1 + abs(ref_f))
+
+
+class TestDegenerate:
+    def test_infeasible_equalities_fall_back(self):
+        # x = 1 and x = 2 simultaneously: infeasible.
+        r = solve_qp(np.array([[2.0]]), np.zeros(1),
+                     A_eq=[[1.0], [1.0]], b_eq=[1.0, 2.0])
+        assert r.status in ("infeasible", "fallback")
+
+    def test_redundant_constraints(self):
+        # Same inequality twice must not confuse the working set.
+        r = solve_qp(2 * np.eye(2), np.array([-4.0, -4.0]),
+                     A_ub=[[1.0, 0.0], [1.0, 0.0]], b_ub=[1.0, 1.0])
+        assert r.ok
+        assert r.x[0] == pytest.approx(1.0, abs=1e-7)

@@ -1,0 +1,153 @@
+"""Trace container and synthetic generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import SECTORS, TraceConfig, UtilizationTrace, generate_trace
+
+
+class TestUtilizationTrace:
+    def test_basic_properties(self):
+        u = np.random.default_rng(0).uniform(0, 1, size=(5, 96))
+        tr = UtilizationTrace(u, interval_s=900.0)
+        assert tr.n_series == 5
+        assert tr.n_samples == 96
+        assert tr.duration_s == pytest.approx(96 * 900.0)
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(np.array([[1.2]]))
+        with pytest.raises(ValueError):
+            UtilizationTrace(np.array([[-0.1]]))
+        with pytest.raises(ValueError):
+            UtilizationTrace(np.array([[np.nan]]))
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(np.zeros((2, 4)), labels=["only-one"])
+
+    def test_subset_deterministic(self):
+        u = np.random.default_rng(0).uniform(0, 1, size=(10, 8))
+        tr = UtilizationTrace(u, labels=[f"s{i}" for i in range(10)])
+        sub = tr.subset(3)
+        assert sub.n_series == 3
+        np.testing.assert_array_equal(sub.utilization, u[:3])
+        assert sub.labels == ["s0", "s1", "s2"]
+
+    def test_subset_random_sampling(self):
+        u = np.random.default_rng(0).uniform(0, 1, size=(10, 8))
+        tr = UtilizationTrace(u)
+        sub = tr.subset(5, rng=np.random.default_rng(1))
+        assert sub.n_series == 5
+
+    def test_subset_bounds(self):
+        tr = UtilizationTrace(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            tr.subset(0)
+        with pytest.raises(ValueError):
+            tr.subset(4)
+
+    def test_demands_scalar_peak(self):
+        u = np.full((2, 3), 0.5)
+        tr = UtilizationTrace(u)
+        d = tr.demands_ghz(2.0)
+        np.testing.assert_allclose(d, 1.0)
+
+    def test_demands_vector_peak(self):
+        u = np.full((2, 3), 0.5)
+        tr = UtilizationTrace(u)
+        d = tr.demands_ghz([2.0, 4.0])
+        np.testing.assert_allclose(d[0], 1.0)
+        np.testing.assert_allclose(d[1], 2.0)
+
+    def test_demands_bad_peak(self):
+        tr = UtilizationTrace(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            tr.demands_ghz([1.0])
+        with pytest.raises(ValueError):
+            tr.demands_ghz([-1.0, 1.0])
+
+    def test_csv_roundtrip(self, tmp_path):
+        u = np.round(np.random.default_rng(0).uniform(0, 1, size=(4, 12)), 4)
+        tr = UtilizationTrace(u, interval_s=600.0, labels=[f"x{i}" for i in range(4)])
+        path = str(tmp_path / "trace.csv")
+        tr.to_csv(path)
+        back = UtilizationTrace.from_csv(path)
+        assert back.interval_s == 600.0
+        assert back.labels == tr.labels
+        np.testing.assert_allclose(back.utilization, u, atol=1e-4)
+
+
+class TestGenerator:
+    def test_dimensions_match_paper(self):
+        tr = generate_trace(TraceConfig(n_servers=50), rng=1)
+        assert tr.n_series == 50
+        assert tr.n_samples == 7 * 96  # 7 days of 15-minute samples
+        assert tr.interval_s == 900.0
+
+    def test_values_in_bounds(self):
+        tr = generate_trace(TraceConfig(n_servers=100), rng=2)
+        assert tr.utilization.min() >= 0.02 - 1e-12
+        assert tr.utilization.max() <= 1.0 + 1e-12
+
+    def test_deterministic_from_seed(self):
+        a = generate_trace(TraceConfig(n_servers=20), rng=3)
+        b = generate_trace(TraceConfig(n_servers=20), rng=3)
+        np.testing.assert_array_equal(a.utilization, b.utilization)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(TraceConfig(n_servers=20), rng=3)
+        b = generate_trace(TraceConfig(n_servers=20), rng=4)
+        assert not np.array_equal(a.utilization, b.utilization)
+
+    def test_labels_carry_sector_and_company(self):
+        tr = generate_trace(TraceConfig(n_servers=30), rng=5)
+        assert len(tr.labels) == 30
+        sector_names = {s.name for s in SECTORS}
+        for label in tr.labels:
+            sector, company = label.split("/")
+            assert sector in sector_names
+            assert company.startswith("company")
+
+    def test_diurnal_variation_present(self):
+        """Average across servers must vary substantially over the day."""
+        tr = generate_trace(TraceConfig(n_servers=300), rng=6)
+        daily = tr.utilization.mean(axis=0).reshape(7, 96).mean(axis=0)
+        assert daily.max() - daily.min() > 0.05
+
+    def test_financial_weekend_trough(self):
+        """Financial-sector servers drop on the weekend (days 6-7)."""
+        tr = generate_trace(TraceConfig(n_servers=400), rng=7)
+        fin = np.asarray([l.startswith("financial") for l in tr.labels])
+        assert fin.any()
+        util = tr.utilization[fin]
+        weekday = util[:, : 5 * 96].mean()
+        weekend = util[:, 5 * 96 :].mean()
+        assert weekend < weekday
+
+    def test_retail_weekend_boost(self):
+        tr = generate_trace(TraceConfig(n_servers=400), rng=8)
+        retail = np.asarray([l.startswith("retail") for l in tr.labels])
+        util = tr.utilization[retail]
+        weekday = util[:, : 5 * 96].mean()
+        weekend = util[:, 5 * 96 :].mean()
+        assert weekend > weekday
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(n_servers=0)
+        with pytest.raises(ValueError):
+            TraceConfig(n_days=0)
+        with pytest.raises(ValueError):
+            TraceConfig(noise_ar1=1.0)
+        with pytest.raises(ValueError):
+            TraceConfig(spike_probability=2.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 40), days=st.integers(1, 3))
+    def test_arbitrary_dimensions(self, n, days):
+        tr = generate_trace(TraceConfig(n_servers=n, n_days=days), rng=9)
+        assert tr.utilization.shape == (n, days * 96)
+        assert np.all((tr.utilization >= 0) & (tr.utilization <= 1))

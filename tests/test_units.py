@@ -1,0 +1,54 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_ghz_identity():
+    assert units.ghz(2.5) == 2.5
+
+
+def test_mhz_to_ghz():
+    assert units.mhz_to_ghz(2400) == pytest.approx(2.4)
+
+
+def test_seconds_ms_roundtrip():
+    assert units.ms_to_seconds(units.seconds_to_ms(1.75)) == pytest.approx(1.75)
+
+
+def test_hours_seconds_roundtrip():
+    assert units.seconds_to_hours(units.hours_to_seconds(3.5)) == pytest.approx(3.5)
+
+
+def test_minutes_to_seconds():
+    assert units.minutes_to_seconds(15) == 900.0
+
+
+def test_watt_seconds_to_wh():
+    assert units.watt_seconds_to_wh(3600.0) == pytest.approx(1.0)
+
+
+def test_wh_roundtrip():
+    assert units.watt_seconds_to_wh(units.wh_to_watt_seconds(2.2)) == pytest.approx(2.2)
+
+
+def test_share_to_ghz_paper_example():
+    # Paper §IV-A: 20% of a 5 GHz CPU is 1 GHz.
+    assert units.share_to_ghz(0.20, 5.0) == pytest.approx(1.0)
+
+
+def test_ghz_to_share_inverse():
+    assert units.ghz_to_share(units.share_to_ghz(0.35, 2.4), 2.4) == pytest.approx(0.35)
+
+
+def test_share_negative_rejected():
+    with pytest.raises(ValueError):
+        units.share_to_ghz(-0.1, 2.0)
+
+
+def test_ghz_to_share_zero_cpu_rejected():
+    with pytest.raises(ValueError):
+        units.ghz_to_share(1.0, 0.0)

@@ -31,6 +31,15 @@ from repro.core import (
     pac,
     pmapper,
 )
+from repro.obs import (
+    InMemoryBackend,
+    JsonlBackend,
+    MetricsRegistry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
 from repro.sim.largescale import LargeScaleConfig, LargeScaleResult, run_largescale
 from repro.sim.testbed import TestbedConfig, TestbedExperiment, TestbedResult
 from repro.sysid import fit_arx, identify_app_model
@@ -57,6 +66,13 @@ __all__ = [
     "ipac",
     "pac",
     "pmapper",
+    "InMemoryBackend",
+    "JsonlBackend",
+    "MetricsRegistry",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
     "LargeScaleConfig",
     "LargeScaleResult",
     "run_largescale",

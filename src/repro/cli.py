@@ -1,24 +1,43 @@
 """Command-line entry points (installed as ``repro-testbed``,
-``repro-largescale``, and ``repro-trace``).
+``repro-largescale``, ``repro-trace``, and ``repro-obs``).
 
 Each command runs one of the paper's experiments with configurable
 parameters and prints a plain-text report; they are thin wrappers over
-the same harnesses the benchmark suite uses.
+the same harnesses the benchmark suite uses.  All commands take
+``--verbose``/``--quiet``; the run commands additionally take
+``--trace-jsonl PATH`` to record a structured telemetry log that
+``repro-obs summarize`` can render.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
 import numpy as np
 
 from repro.apps.workload import StepWorkload
+from repro.obs import (
+    JsonlBackend,
+    Telemetry,
+    render_summary,
+    summarize_jsonl,
+    use_telemetry,
+)
 from repro.sim.largescale import LargeScaleConfig, run_largescale
 from repro.sim.testbed import TestbedConfig, TestbedExperiment
 from repro.traces.generator import TraceConfig, generate_trace
+from repro.util.logsetup import add_verbosity_flags, configure_logging
 from repro.util.tables import format_table
+
+
+def _telemetry_scope(jsonl_path: Optional[str]):
+    """JSONL telemetry scope when a path was given, else a no-op scope."""
+    if jsonl_path is None:
+        return contextlib.nullcontext()
+    return use_telemetry(Telemetry(JsonlBackend(jsonl_path)))
 
 
 def main_testbed(argv: Optional[List[str]] = None) -> int:
@@ -37,7 +56,13 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="apply the paper's Fig. 3 concurrency step (40->80 on app 5, t in [600,1200))",
     )
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="record telemetry (spans, events, metrics) to a JSONL file",
+    )
+    add_verbosity_flags(parser)
     args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
 
     workloads = {}
     if args.step_workload:
@@ -52,10 +77,13 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         workloads=workloads,
         seed=args.seed,
     )
-    result = TestbedExperiment(config).run()
+    with _telemetry_scope(args.trace_jsonl):
+        result = TestbedExperiment(config).run()
     from repro.sim.report import testbed_report
 
     print(testbed_report(result, n_apps=args.apps, setpoint_ms=args.setpoint))
+    if args.trace_jsonl:
+        print(f"telemetry written to {args.trace_jsonl}")
     return 0
 
 
@@ -75,29 +103,38 @@ def main_largescale(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--relief", action="store_true",
                         help="enable on-demand overload relief between invocations")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="record telemetry (spans, events, metrics) to a JSONL file",
+    )
+    add_verbosity_flags(parser)
     args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
 
     trace = generate_trace(
         TraceConfig(n_servers=max(args.vms), n_days=args.days), rng=args.seed
     )
     rows = []
-    for n in args.vms:
-        row = [n]
-        for scheme in args.schemes:
-            res = run_largescale(
-                trace,
-                LargeScaleConfig(
-                    n_vms=n, n_servers=args.servers, scheme=scheme,
-                    provisioning=args.provisioning, ondemand_relief=args.relief,
-                    seed=args.seed,
-                ),
-            )
-            row.extend([res.energy_per_vm_wh, res.migrations])
-        rows.append(row)
+    with _telemetry_scope(args.trace_jsonl):
+        for n in args.vms:
+            row = [n]
+            for scheme in args.schemes:
+                res = run_largescale(
+                    trace,
+                    LargeScaleConfig(
+                        n_vms=n, n_servers=args.servers, scheme=scheme,
+                        provisioning=args.provisioning, ondemand_relief=args.relief,
+                        seed=args.seed,
+                    ),
+                )
+                row.extend([res.energy_per_vm_wh, res.migrations])
+            rows.append(row)
     headers = ["#VMs"]
     for scheme in args.schemes:
         headers.extend([f"{scheme} Wh/VM", f"{scheme} moves"])
     print(format_table(headers, rows, title=f"Energy per VM over {args.days} days"))
+    if args.trace_jsonl:
+        print(f"telemetry written to {args.trace_jsonl}")
     return 0
 
 
@@ -111,7 +148,9 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--servers", type=int, default=5415)
     parser.add_argument("--days", type=int, default=7)
     parser.add_argument("--seed", type=int, default=7)
+    add_verbosity_flags(parser)
     args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
     trace = generate_trace(
         TraceConfig(n_servers=args.servers, n_days=args.days), rng=args.seed
     )
@@ -121,6 +160,44 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
         f"Wrote {args.output}: {trace.n_series} series x {trace.n_samples} samples, "
         f"util mean {u.mean():.3f} / p95 {np.percentile(u, 95):.3f}"
     )
+    return 0
+
+
+def main_obs(argv: Optional[List[str]] = None) -> int:
+    """Inspect telemetry JSONL files recorded by instrumented runs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect telemetry recorded with --trace-jsonl (or the obs API).",
+    )
+    add_verbosity_flags(parser)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize",
+        help="reduce a telemetry JSONL file to tracking error, time-in-span, "
+        "and optimizer activity tables",
+    )
+    p_sum.add_argument("path", help="telemetry JSONL file")
+    p_sum.add_argument(
+        "--json", action="store_true",
+        help="print the summary as JSON instead of tables",
+    )
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+
+    try:
+        summary = summarize_jsonl(args.path)
+    except OSError as exc:
+        print(f"repro-obs: cannot read {args.path}: {exc.strerror or exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(summary, indent=2, default=str))
+    else:
+        print(render_summary(summary, title=args.path))
     return 0
 
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.control.arx import ARXModel
 from repro.control.qp import QPResult, solve_qp
+from repro.obs import get_telemetry
 
 __all__ = ["MPCConfig", "MPCSolution", "MPCController"]
 
@@ -126,6 +127,42 @@ class MPCController:
         self._r_vec = r
 
     def solve(
+        self,
+        t_hist: Sequence[float],
+        c_hist: np.ndarray,
+        reference: Sequence[float],
+        setpoint: float,
+        c_min: Sequence[float],
+        c_max: Sequence[float],
+        total_cap_ghz: Optional[float] = None,
+        output_bias: float = 0.0,
+    ) -> MPCSolution:
+        """Compute the input-change trajectory for the current period
+        (traced as the ``mpc.solve`` span when telemetry is enabled).
+
+        See :meth:`_solve` for the parameters.
+        """
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._solve(
+                t_hist, c_hist, reference, setpoint, c_min, c_max,
+                total_cap_ghz, output_bias,
+            )
+        with tel.span("mpc.solve") as sp:
+            solution = self._solve(
+                t_hist, c_hist, reference, setpoint, c_min, c_max,
+                total_cap_ghz, output_bias,
+            )
+            sp.annotate(
+                softened=solution.terminal_softened,
+                qp_status=solution.qp.status,
+            )
+        tel.count("mpc.solves")
+        if solution.terminal_softened:
+            tel.count("mpc.terminal_softened")
+        return solution
+
+    def _solve(
         self,
         t_hist: Sequence[float],
         c_hist: np.ndarray,

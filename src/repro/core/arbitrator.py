@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from repro.cluster.server import Server
+from repro.obs import get_telemetry
 from repro.util.validation import check_in_range
 
 __all__ = ["ArbitrationResult", "CPUResourceArbitrator"]
@@ -69,6 +70,23 @@ class CPUResourceArbitrator:
         for vm_id, demand in demands_ghz.items():
             if demand < 0:
                 raise ValueError(f"negative demand for {vm_id}: {demand}")
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._arbitrate(server, demands_ghz)
+        with tel.span("arbitrator.pass", server=server.server_id) as sp:
+            result = self._arbitrate(server, demands_ghz)
+            sp.annotate(
+                freq_ghz=result.freq_ghz,
+                total_demand_ghz=result.total_demand_ghz,
+                overloaded=result.overloaded,
+            )
+        tel.count("arbitrator.passes")
+        if result.overloaded:
+            tel.count("arbitrator.overloads")
+        return result
+
+    def _arbitrate(self, server: Server, demands_ghz: Mapping[str, float]) -> ArbitrationResult:
+        """The DVFS + share selection, factored out of the traced entry."""
         total = float(sum(demands_ghz.values()))
         cpu = server.spec.cpu
         # Lowest DVFS level whose capacity covers demand plus headroom.

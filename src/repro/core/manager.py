@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -27,9 +28,12 @@ from repro.core.optimizer.types import (
     apply_plan,
     snapshot_datacenter,
 )
+from repro.obs import get_telemetry
 from repro.util.validation import check_positive
 
 __all__ = ["PowerManagerConfig", "ControlStepResult", "PowerManager"]
+
+logger = logging.getLogger(__name__)
 
 Optimizer = Callable[[PlacementProblem], PlacementPlan]
 
@@ -102,6 +106,7 @@ class PowerManager:
         self,
         measurements: Mapping[str, float],
         used_ghz: Optional[Mapping[str, "np.ndarray"]] = None,
+        time_s: float = float("nan"),
     ) -> ControlStepResult:
         """Run one control period across all applications and servers.
 
@@ -111,7 +116,48 @@ class PowerManager:
         utilization-band guard).  Updates VM demands and allocations in
         the data center, applies DVFS, and feeds the granted (possibly
         rationed) allocations back to each controller (anti-windup).
+        ``time_s`` stamps the emitted telemetry (simulated seconds); it
+        does not affect control.
         """
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._control_step(measurements, used_ghz)
+        with tel.span("manager.control_step", apps=len(measurements)):
+            result = self._control_step(measurements, used_ghz)
+        tel.count("manager.control_steps")
+        if result.overloaded_servers:
+            logger.warning(
+                "control step t=%.1fs: overloaded servers %s",
+                time_s, result.overloaded_servers,
+            )
+        tel.event(
+            "control_period",
+            time_s=time_s,
+            apps={
+                app_id: {
+                    "rt_ms": float(measurements[app_id]),
+                    "setpoint_ms": self.controllers[app_id].config.setpoint_ms,
+                    "granted_ghz": [float(g) for g in granted],
+                    "demand_ghz": [
+                        float(self.dc.vms[vm_id].demand_ghz)
+                        for vm_id in self.dc.applications[app_id].vm_ids
+                    ],
+                }
+                for app_id, granted in result.granted_ghz.items()
+            },
+            overloaded=list(result.overloaded_servers),
+            freqs_ghz={
+                sid: arb.freq_ghz for sid, arb in result.arbitration.items()
+            },
+        )
+        return result
+
+    def _control_step(
+        self,
+        measurements: Mapping[str, float],
+        used_ghz: Optional[Mapping[str, "np.ndarray"]] = None,
+    ) -> ControlStepResult:
+        """The three-phase control period, factored out of the traced entry."""
         dc = self.dc
         # 1. Application level: controllers emit new per-VM demands.
         for app_id, rt_ms in measurements.items():
@@ -154,7 +200,40 @@ class PowerManager:
 
     def optimize(self, time_s: float = 0.0) -> PlacementPlan:
         """One optimizer invocation: snapshot, plan, apply."""
+        tel = get_telemetry()
         problem = snapshot_datacenter(self.dc)
-        plan = self.optimizer(problem)
+        with tel.span("optimizer.invoke", time_s=time_s) as sp:
+            plan = self.optimizer(problem)
+            sp.annotate(moves=plan.n_moves, wake=len(plan.wake), sleep=len(plan.sleep))
         apply_plan(self.dc, plan, time_s=time_s)
+        logger.info(
+            "optimizer t=%.1fs: %d moves, wake %d, sleep %d, %d active servers",
+            time_s, plan.n_moves, len(plan.wake), len(plan.sleep),
+            len(self.dc.active_servers()),
+        )
+        if tel.enabled:
+            tel.count("optimizer.invocations")
+            tel.count("optimizer.migrations", plan.n_moves)
+            tel.event(
+                "optimizer_invocation",
+                time_s=time_s,
+                moves=plan.n_moves,
+                wake=len(plan.wake),
+                sleep=len(plan.sleep),
+                unplaced=len(plan.unplaced),
+                active_servers=len(self.dc.active_servers()),
+                info=dict(plan.info),
+            )
+            for mig in plan.migrations:
+                tel.event(
+                    "migration",
+                    time_s=time_s,
+                    vm=mig.vm_id,
+                    source=mig.source_id,
+                    target=mig.target_id,
+                )
+            for sid in plan.wake:
+                tel.event("server_power", time_s=time_s, server=sid, state="on")
+            for sid in plan.sleep:
+                tel.event("server_power", time_s=time_s, server=sid, state="off")
         return plan

@@ -24,6 +24,7 @@ Each invocation:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -41,9 +42,12 @@ from repro.core.optimizer.types import (
     ServerInfo,
     VMInfo,
 )
+from repro.obs import get_telemetry
 from repro.util.validation import check_in_range
 
 __all__ = ["IPACConfig", "ipac"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -114,9 +118,29 @@ def ipac(problem: PlacementProblem, config: IPACConfig | None = None) -> Placeme
 
     ``plan.info`` carries diagnostics: drain rounds attempted/accepted,
     number of mandatory (overload) evictions, and migrations rejected by
-    the cost policy.
+    the cost policy.  Telemetry: traced as the ``ipac.plan`` span (with
+    nested ``ipac.overload_relief`` / ``ipac.drain`` / ``ipac.cost_filter``
+    phase spans) and mirrored into ``ipac.*`` counters.
     """
     config = config or IPACConfig()
+    tel = get_telemetry()
+    if not tel.enabled:
+        return _ipac(problem, config)
+    with tel.span(
+        "ipac.plan", vms=len(problem.vms), servers=len(problem.servers)
+    ) as sp:
+        plan = _ipac(problem, config)
+        sp.annotate(moves=plan.n_moves, wake=len(plan.wake), sleep=len(plan.sleep))
+    tel.count("ipac.plans")
+    for key in ("drain_rounds_attempted", "drain_rounds_accepted",
+                "overload_evictions", "migrations_rejected"):
+        tel.count(f"ipac.{key}", plan.info.get(key, 0.0))
+    return plan
+
+
+def _ipac(problem: PlacementProblem, config: IPACConfig) -> PlacementPlan:
+    """The three IPAC phases, factored out of the traced entry point."""
+    tel = get_telemetry()
     vm_by_id: Dict[str, VMInfo] = {v.vm_id: v for v in problem.vms}
     server_by_id: Dict[str, ServerInfo] = {s.server_id: s for s in problem.servers}
     mapping: Dict[str, str] = dict(problem.mapping)
@@ -126,31 +150,32 @@ def ipac(problem: PlacementProblem, config: IPACConfig | None = None) -> Placeme
     new_vm_ids = sorted(v.vm_id for v in problem.vms if v.vm_id not in mapping)
 
     # ---- Phase A: overload relief (mandatory) -------------------------
-    loads: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
-    for vm_id, sid in mapping.items():
-        loads[sid] += vm_by_id[vm_id].demand_ghz
-    mandatory_ids: Set[str] = set(new_vm_ids)
-    evictions: List[str] = list(new_vm_ids)
-    for server in problem.servers:
-        sid = server.server_id
-        limit = server.max_capacity_ghz * config.overload_utilization
-        if loads[sid] <= limit + 1e-9:
-            continue
-        target = server.max_capacity_ghz * config.pac.target_utilization
-        hosted = sorted(
-            (vm_id for vm_id, s in mapping.items() if s == sid),
-            key=lambda v: (vm_by_id[v].demand_ghz, v),
-        )
-        for vm_id in hosted:
-            if loads[sid] <= target + 1e-9:
-                break
-            loads[sid] -= vm_by_id[vm_id].demand_ghz
-            del mapping[vm_id]
-            evictions.append(vm_id)
-            mandatory_ids.add(vm_id)
-    if evictions:
-        mapping, failed = _run_pac(problem, mapping, evictions, config.pac)
-        unplaced.extend(failed)
+    with tel.span("ipac.overload_relief"):
+        loads: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+        for vm_id, sid in mapping.items():
+            loads[sid] += vm_by_id[vm_id].demand_ghz
+        mandatory_ids: Set[str] = set(new_vm_ids)
+        evictions: List[str] = list(new_vm_ids)
+        for server in problem.servers:
+            sid = server.server_id
+            limit = server.max_capacity_ghz * config.overload_utilization
+            if loads[sid] <= limit + 1e-9:
+                continue
+            target = server.max_capacity_ghz * config.pac.target_utilization
+            hosted = sorted(
+                (vm_id for vm_id, s in mapping.items() if s == sid),
+                key=lambda v: (vm_by_id[v].demand_ghz, v),
+            )
+            for vm_id in hosted:
+                if loads[sid] <= target + 1e-9:
+                    break
+                loads[sid] -= vm_by_id[vm_id].demand_ghz
+                del mapping[vm_id]
+                evictions.append(vm_id)
+                mandatory_ids.add(vm_id)
+        if evictions:
+            mapping, failed = _run_pac(problem, mapping, evictions, config.pac)
+            unplaced.extend(failed)
 
     # ---- Phase B: incremental drain loop ------------------------------
     drained: Set[str] = set()
@@ -159,106 +184,110 @@ def ipac(problem: PlacementProblem, config: IPACConfig | None = None) -> Placeme
     max_rounds = (
         len(problem.servers) if config.max_drain_rounds is None else config.max_drain_rounds
     )
-    current_power = _estimate_power_w(problem, mapping)
-    while rounds_attempted < max_rounds:
-        hosting = _hosting_servers(mapping)
-        candidates = sorted(
-            (server_by_id[sid] for sid in hosting if sid not in drained),
-            key=lambda s: (s.efficiency, s.server_id),
-        )
-        if not candidates:
-            break
-        victim = candidates[0]
-        drained.add(victim.server_id)
-        rounds_attempted += 1
-        trial = dict(mapping)
-        drain_ids = sorted(
-            vm_id for vm_id, sid in trial.items() if sid == victim.server_id
-        )
-        for vm_id in drain_ids:
-            del trial[vm_id]
-        trial, failed = _run_pac(
-            problem, trial, drain_ids, config.pac,
-            exclude_server=victim.server_id,
-        )
-        if failed:
-            continue  # could not rehome everything; keep current mapping
-        trial_power = _estimate_power_w(problem, trial)
-        if trial_power < current_power - 1e-9:
-            mapping = trial
-            current_power = trial_power
-            rounds_accepted += 1
-        else:
-            break  # no further improvement: stop (paper's loop condition)
+    with tel.span("ipac.drain") as drain_span:
+        current_power = _estimate_power_w(problem, mapping)
+        while rounds_attempted < max_rounds:
+            hosting = _hosting_servers(mapping)
+            candidates = sorted(
+                (server_by_id[sid] for sid in hosting if sid not in drained),
+                key=lambda s: (s.efficiency, s.server_id),
+            )
+            if not candidates:
+                break
+            victim = candidates[0]
+            drained.add(victim.server_id)
+            rounds_attempted += 1
+            trial = dict(mapping)
+            drain_ids = sorted(
+                vm_id for vm_id, sid in trial.items() if sid == victim.server_id
+            )
+            for vm_id in drain_ids:
+                del trial[vm_id]
+            trial, failed = _run_pac(
+                problem, trial, drain_ids, config.pac,
+                exclude_server=victim.server_id,
+            )
+            if failed:
+                continue  # could not rehome everything; keep current mapping
+            trial_power = _estimate_power_w(problem, trial)
+            if trial_power < current_power - 1e-9:
+                mapping = trial
+                current_power = trial_power
+                rounds_accepted += 1
+            else:
+                break  # no further improvement: stop (paper's loop condition)
+        drain_span.annotate(attempted=rounds_attempted, accepted=rounds_accepted)
 
     # ---- Phase C: cost-aware migration filter -------------------------
-    policy = config.cost_policy or AllowAllPolicy()
-    policy.reset()
-    rejected = 0
-    moves: List[Migration] = []
-    for vm in problem.vms:
-        old = problem.mapping.get(vm.vm_id)
-        new = mapping.get(vm.vm_id)
-        if new is not None and new != old:
-            moves.append(Migration(vm.vm_id, old, new))
-    # Mandatory moves first so budget-style policies fund them first.
-    moves.sort(key=lambda m: (m.vm_id not in mandatory_ids, m.vm_id))
+    with tel.span("ipac.cost_filter") as filter_span:
+        policy = config.cost_policy or AllowAllPolicy()
+        policy.reset()
+        rejected = 0
+        moves: List[Migration] = []
+        for vm in problem.vms:
+            old = problem.mapping.get(vm.vm_id)
+            new = mapping.get(vm.vm_id)
+            if new is not None and new != old:
+                moves.append(Migration(vm.vm_id, old, new))
+        # Mandatory moves first so budget-style policies fund them first.
+        moves.sort(key=lambda m: (m.vm_id not in mandatory_ids, m.vm_id))
 
-    # Per-source drained demand, for sharing out the shutdown benefit.
-    drained_demand: Dict[str, float] = {}
-    final_hosting = _hosting_servers(mapping)
-    for mig in moves:
-        if mig.source_id is not None:
-            drained_demand[mig.source_id] = (
-                drained_demand.get(mig.source_id, 0.0)
-                + vm_by_id[mig.vm_id].demand_ghz
+        # Per-source drained demand, for sharing out the shutdown benefit.
+        drained_demand: Dict[str, float] = {}
+        final_hosting = _hosting_servers(mapping)
+        for mig in moves:
+            if mig.source_id is not None:
+                drained_demand[mig.source_id] = (
+                    drained_demand.get(mig.source_id, 0.0)
+                    + vm_by_id[mig.vm_id].demand_ghz
+                )
+
+        loads_after: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+        mem_after: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+        for vm_id, sid in mapping.items():
+            loads_after[sid] += vm_by_id[vm_id].demand_ghz
+            mem_after[sid] += vm_by_id[vm_id].memory_mb
+
+        for mig in moves:
+            mandatory = mig.vm_id in mandatory_ids or mig.source_id is None
+            vm = vm_by_id[mig.vm_id]
+            source = server_by_id.get(mig.source_id) if mig.source_id else None
+            target = server_by_id[mig.target_id]
+            benefit = 0.0
+            if source is not None:
+                benefit = vm.demand_ghz * (
+                    _marginal_w_per_ghz(source) - _marginal_w_per_ghz(target)
+                )
+                if source.server_id not in final_hosting:
+                    share = vm.demand_ghz / max(drained_demand.get(source.server_id, 0.0), 1e-12)
+                    benefit += (source.idle_w - source.sleep_w) * min(share, 1.0)
+            context = MigrationContext(
+                migration=mig,
+                vm=vm,
+                source=source,
+                target=target,
+                estimated_benefit_w=benefit,
+                migration_model=config.migration_model,
+                mandatory=mandatory,
             )
-
-    loads_after: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
-    mem_after: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
-    for vm_id, sid in mapping.items():
-        loads_after[sid] += vm_by_id[vm_id].demand_ghz
-        mem_after[sid] += vm_by_id[vm_id].memory_mb
-
-    for mig in moves:
-        mandatory = mig.vm_id in mandatory_ids or mig.source_id is None
-        vm = vm_by_id[mig.vm_id]
-        source = server_by_id.get(mig.source_id) if mig.source_id else None
-        target = server_by_id[mig.target_id]
-        benefit = 0.0
-        if source is not None:
-            benefit = vm.demand_ghz * (
-                _marginal_w_per_ghz(source) - _marginal_w_per_ghz(target)
+            if policy.allow(context):
+                continue
+            # Roll back if the source can still take the VM back.
+            assert mig.source_id is not None  # mandatory moves are never rejected
+            src = server_by_id[mig.source_id]
+            fits_cpu = (
+                loads_after[mig.source_id] + vm.demand_ghz
+                <= src.max_capacity_ghz * config.pac.target_utilization + 1e-9
             )
-            if source.server_id not in final_hosting:
-                share = vm.demand_ghz / max(drained_demand.get(source.server_id, 0.0), 1e-12)
-                benefit += (source.idle_w - source.sleep_w) * min(share, 1.0)
-        context = MigrationContext(
-            migration=mig,
-            vm=vm,
-            source=source,
-            target=target,
-            estimated_benefit_w=benefit,
-            migration_model=config.migration_model,
-            mandatory=mandatory,
-        )
-        if policy.allow(context):
-            continue
-        # Roll back if the source can still take the VM back.
-        assert mig.source_id is not None  # mandatory moves are never rejected
-        src = server_by_id[mig.source_id]
-        fits_cpu = (
-            loads_after[mig.source_id] + vm.demand_ghz
-            <= src.max_capacity_ghz * config.pac.target_utilization + 1e-9
-        )
-        fits_mem = mem_after[mig.source_id] + vm.memory_mb <= src.memory_mb + 1e-9
-        if fits_cpu and fits_mem:
-            loads_after[mig.target_id] -= vm.demand_ghz
-            mem_after[mig.target_id] -= vm.memory_mb
-            loads_after[mig.source_id] += vm.demand_ghz
-            mem_after[mig.source_id] += vm.memory_mb
-            mapping[mig.vm_id] = mig.source_id
-            rejected += 1
+            fits_mem = mem_after[mig.source_id] + vm.memory_mb <= src.memory_mb + 1e-9
+            if fits_cpu and fits_mem:
+                loads_after[mig.target_id] -= vm.demand_ghz
+                mem_after[mig.target_id] -= vm.memory_mb
+                loads_after[mig.source_id] += vm.demand_ghz
+                mem_after[mig.source_id] += vm.memory_mb
+                mapping[mig.vm_id] = mig.source_id
+                rejected += 1
+        filter_span.annotate(offered=len(moves), rejected=rejected)
 
     plan = build_plan_from_mapping(problem, mapping, unplaced)
     plan.info.update(
@@ -269,5 +298,11 @@ def ipac(problem: PlacementProblem, config: IPACConfig | None = None) -> Placeme
             "new_placements": float(len(new_vm_ids)),
             "migrations_rejected": float(rejected),
         }
+    )
+    logger.debug(
+        "ipac: %d moves (%d mandatory evictions, %d new), drain %d/%d accepted, "
+        "%d rejected by cost policy",
+        plan.n_moves, len(evictions) - len(new_vm_ids), len(new_vm_ids),
+        rounds_accepted, rounds_attempted, rejected,
     )
     return plan

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.core.optimizer.types import VMInfo
+from repro.obs import get_telemetry
 from repro.packing.mbs import MBSResult, MemoryConstraint, minimum_bin_slack
 
 __all__ = ["MinSlackConfig", "select_vms_for_server"]
@@ -45,7 +46,11 @@ def select_vms_for_server(
     """Pick the VM subset that best fills the server's free CPU.
 
     Returns the chosen VMs and the raw search result (slack, steps,
-    epsilon after escalations).
+    epsilon after escalations).  Telemetry: traced as the
+    ``minslack.search`` span; nodes expanded and epsilon escalations
+    accumulate into the ``minslack.nodes`` / ``minslack.eps_escalations``
+    counters.  The branch-and-bound inner loop itself stays
+    uninstrumented — effort is read off :class:`MBSResult` afterwards.
     """
     config = config or MinSlackConfig()
     if free_capacity_ghz < 0:
@@ -54,13 +59,25 @@ def select_vms_for_server(
         raise ValueError(f"free_memory_mb must be >= 0, got {free_memory_mb}")
     sizes = [vm.demand_ghz for vm in candidates]
     constraint = MemoryConstraint([vm.memory_mb for vm in candidates], free_memory_mb)
-    result = minimum_bin_slack(
-        sizes,
-        free_capacity_ghz,
-        constraint=constraint,
-        epsilon=config.epsilon_ghz,
-        max_steps=config.max_steps,
-        epsilon_step=config.epsilon_step_ghz,
-    )
+    tel = get_telemetry()
+    with tel.span("minslack.search", candidates=len(sizes)) as sp:
+        result = minimum_bin_slack(
+            sizes,
+            free_capacity_ghz,
+            constraint=constraint,
+            epsilon=config.epsilon_ghz,
+            max_steps=config.max_steps,
+            epsilon_step=config.epsilon_step_ghz,
+        )
+        sp.annotate(
+            nodes=result.steps,
+            slack_ghz=result.slack,
+            epsilon_used=result.epsilon_used,
+            early_exit=result.early_exit,
+        )
+    if tel.enabled:
+        tel.count("minslack.searches")
+        tel.count("minslack.nodes", result.steps)
+        tel.count("minslack.eps_escalations", result.steps // config.max_steps)
     chosen = [candidates[i] for i in result.selected]
     return chosen, result

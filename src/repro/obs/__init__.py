@@ -1,0 +1,73 @@
+"""Observability for the two-level power manager: metrics, spans, events.
+
+The package gives every layer of the stack a common measurement
+substrate:
+
+* :class:`MetricsRegistry` — counters, gauges, and histograms with
+  p50/p90/p99 summaries and a Prometheus-style text dump;
+* span tracing — ``with get_telemetry().span("mpc.solve", app="app3"):``
+  captures wall time and nesting for the hot paths (MPC QP solve,
+  RLS update, arbitrator pass, Minimum-Slack search, IPAC planning,
+  DES stepping);
+* a structured JSONL event log — one record per control period,
+  optimizer invocation, migration, and server power transition — with
+  pluggable backends (:class:`JsonlBackend`, :class:`InMemoryBackend`,
+  :class:`PrometheusTextBackend`) and a :class:`NullBackend` default
+  whose overhead is a single attribute check.
+
+Telemetry is **off by default**: the process-wide instance wraps
+:class:`NullBackend`.  Enable it per run::
+
+    from repro.obs import JsonlBackend, Telemetry, use_telemetry
+
+    with use_telemetry(Telemetry(JsonlBackend("run.jsonl"))):
+        result = TestbedExperiment(config).run()
+
+then inspect the file with ``repro-obs summarize run.jsonl``.
+"""
+
+from repro.obs.backends import (
+    InMemoryBackend,
+    JsonlBackend,
+    NullBackend,
+    PrometheusTextBackend,
+    TelemetryBackend,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.summarize import (
+    read_jsonl,
+    render_summary,
+    summarize_events,
+    summarize_jsonl,
+)
+from repro.obs.telemetry import (
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.obs.trace import NOOP_SPAN, NoopSpan, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryBackend",
+    "NullBackend",
+    "InMemoryBackend",
+    "JsonlBackend",
+    "PrometheusTextBackend",
+    "Span",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "Tracer",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "read_jsonl",
+    "summarize_events",
+    "summarize_jsonl",
+    "render_summary",
+]

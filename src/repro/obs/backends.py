@@ -1,0 +1,146 @@
+"""Pluggable telemetry backends (exporters).
+
+A backend receives finished telemetry records — structured events and
+closed spans — as plain dicts.  The :class:`NullBackend` is the default
+and advertises ``enabled = False``, which short-circuits every
+instrumentation site before any record is even built, so disabled-mode
+overhead is a single attribute check.
+
+Backends:
+
+* :class:`NullBackend` — drop everything (default; negligible overhead).
+* :class:`InMemoryBackend` — keep records in a list (tests, notebooks).
+* :class:`JsonlBackend` — one JSON object per line to a file; the format
+  ``repro-obs summarize`` reads back.
+* :class:`PrometheusTextBackend` — ignores the event stream; writes one
+  Prometheus text-format dump of the metrics registry on ``close()``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "TelemetryBackend",
+    "NullBackend",
+    "InMemoryBackend",
+    "JsonlBackend",
+    "PrometheusTextBackend",
+]
+
+
+def _json_default(obj):
+    """Coerce numpy scalars/arrays (and other oddballs) to JSON types."""
+    if hasattr(obj, "tolist"):  # numpy scalar or array
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+class TelemetryBackend:
+    """Base backend: a sink for event dicts.
+
+    ``enabled`` is the master switch instrumentation sites check before
+    doing any work; the base class (and :class:`NullBackend`) report
+    False so all telemetry code paths stay dormant.
+    """
+
+    enabled: bool = False
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        """Consume one finished record (event or span)."""
+
+    def flush(self) -> None:
+        """Push buffered records to their destination."""
+
+    def close(self) -> None:
+        """Flush and release resources; the backend is done after this."""
+
+    def __enter__(self) -> "TelemetryBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullBackend(TelemetryBackend):
+    """Drops every record; the zero-overhead default."""
+
+
+class InMemoryBackend(TelemetryBackend):
+    """Stores records in ``self.records`` — for tests and notebooks."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        self.records.append(dict(event))
+
+    def of_kind(self, kind: str) -> List[Dict[str, object]]:
+        """All stored records whose ``kind`` field equals *kind*."""
+        return [r for r in self.records if r.get("kind") == kind]
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self.records.clear()
+
+
+class JsonlBackend(TelemetryBackend):
+    """Writes one JSON object per line to *path* (or an open stream).
+
+    Numpy scalars and arrays in event fields are converted via
+    ``tolist()`` so instrumentation sites can pass arrays directly.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path, IO[str]], mode: str = "w"):
+        if hasattr(path, "write"):
+            self._fh: IO[str] = path  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(path)
+            self._fh = open(self.path, mode, encoding="utf-8")
+            self._owns = True
+        self.n_written = 0
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        self._fh.write(json.dumps(event, default=_json_default) + "\n")
+        self.n_written += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+        else:
+            self.flush()
+
+
+class PrometheusTextBackend(TelemetryBackend):
+    """Ignores events; dumps the metrics registry on ``close()``.
+
+    The :class:`~repro.obs.telemetry.Telemetry` facade hands this
+    backend its registry at attach time (``bind_registry``).
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._registry = None
+
+    def bind_registry(self, registry) -> None:
+        """Called by the telemetry facade so close() can read metrics."""
+        self._registry = registry
+
+    def close(self) -> None:
+        if self._registry is not None:
+            self.path.write_text(self._registry.to_prometheus(), encoding="utf-8")

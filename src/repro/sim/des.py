@@ -29,6 +29,8 @@ import heapq
 import math
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
+from repro.obs import get_telemetry
+
 __all__ = [
     "Simulator",
     "EventHandle",
@@ -197,15 +199,34 @@ class Simulator:
 
         Advancing the clock to exactly *until* even when the last event is
         earlier makes fixed control periods line up across components.
+
+        With telemetry enabled, each call is traced as one ``des.run_until``
+        span annotated with the number of events it processed (the inner
+        per-event loop stays uninstrumented, so disabled-mode overhead is
+        one attribute check per call).
         """
         if until < self._now:
             raise ValueError(f"cannot run backwards to {until} from {self._now}")
-        while True:
-            nxt = self.peek()
-            if nxt > until:
-                break
-            self.step()
-        self._now = until
+        tel = get_telemetry()
+        if not tel.enabled:
+            while True:
+                nxt = self.peek()
+                if nxt > until:
+                    break
+                self.step()
+            self._now = until
+            return
+        with tel.span("des.run_until", until=until) as sp:
+            n_events = 0
+            while True:
+                nxt = self.peek()
+                if nxt > until:
+                    break
+                self.step()
+                n_events += 1
+            self._now = until
+            sp.annotate(events=n_events)
+        tel.count("des.events", n_events)
 
     def run(self, until: Optional[float] = None) -> None:
         """Drain the event queue, optionally stopping at *until*."""

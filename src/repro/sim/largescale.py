@@ -23,6 +23,7 @@ Accounting notes
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -42,12 +43,15 @@ from repro.core.optimizer.types import (
     ServerInfo,
     VMInfo,
 )
+from repro.obs import get_telemetry
 from repro.traces.forecast import DemandForecaster, EwmaPeakForecaster, HoltForecaster
 from repro.traces.trace import UtilizationTrace
 from repro.util.rng import RngLike, ensure_rng
 from repro.util.validation import check_in_range, check_positive
 
 __all__ = ["LargeScaleConfig", "LargeScaleResult", "run_largescale"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -250,7 +254,49 @@ def run_largescale(
 
     if optimizer is None:
         optimizer = _build_optimizer(config)
+    tel = get_telemetry()
+    logger.info(
+        "largescale run: scheme=%s, %d VMs on %d servers, %d steps of %.0fs",
+        config.scheme, n_vms, n_srv, n_steps, dt_s,
+    )
+    tel.event(
+        "run_config",
+        harness="largescale",
+        scheme=config.scheme,
+        n_vms=n_vms,
+        n_servers=n_srv,
+        n_steps=n_steps,
+        step_s=dt_s,
+        dvfs=config.dvfs_enabled,
+        provisioning=config.provisioning,
+        seed=config.seed,
+    )
+
+    def _invoke_optimizer(problem: PlacementProblem, time_s: float) -> PlacementPlan:
+        """Run the consolidation optimizer, traced + logged per invocation."""
+        with tel.span("largescale.optimize", scheme=config.scheme) as sp:
+            plan = optimizer(problem)
+            sp.annotate(moves=plan.n_moves, unplaced=len(plan.unplaced))
+        if tel.enabled:
+            tel.count("optimizer.invocations")
+            tel.count("optimizer.migrations", plan.n_moves)
+            tel.event(
+                "optimizer_invocation",
+                time_s=time_s,
+                moves=plan.n_moves,
+                wake=len(plan.wake),
+                sleep=len(plan.sleep),
+                unplaced=len(plan.unplaced),
+                info=dict(plan.info),
+            )
+        logger.debug(
+            "optimizer t=%.0fs: %d moves, wake %d, sleep %d",
+            time_s, plan.n_moves, len(plan.wake), len(plan.sleep),
+        )
+        return plan
+
     assignment = np.full(n_vms, -1, dtype=int)  # server index per VM
+    prev_hosting = np.zeros(n_srv, dtype=bool)  # for power-transition events
     migrations = 0
     overload_server_steps = 0
     unplaced_vm_steps = 0
@@ -321,7 +367,7 @@ def run_largescale(
 
         if step == 0 and static_peak:
             # One conservative placement against the whole-trace peak.
-            plan = optimizer(_build_problem(demands.max(axis=1)))
+            plan = _invoke_optimizer(_build_problem(demands.max(axis=1)), 0.0)
             migrations += plan.n_moves
             migration_energy_wh += _migration_energy(plan)
             assignment = _apply_mapping(plan.final_mapping)
@@ -333,7 +379,7 @@ def run_largescale(
                     forecaster.forecast_peak(config.optimize_every_steps),
                 )
                 demand_for_packing = np.minimum(demand_for_packing, peaks)
-            plan = optimizer(_build_problem(demand_for_packing))
+            plan = _invoke_optimizer(_build_problem(demand_for_packing), step * dt_s)
             migrations += plan.n_moves
             migration_energy_wh += _migration_energy(plan)
             assignment = _apply_mapping(plan.final_mapping)
@@ -344,10 +390,14 @@ def run_largescale(
                 minlength=n_srv,
             )
             if np.any(loads_now > srv_max_cap + 1e-9):
-                plan = relieve_overloads(_build_problem(demand_now), relief_config)
+                with tel.span("largescale.relief"):
+                    plan = relieve_overloads(_build_problem(demand_now), relief_config)
                 relief_moves += plan.n_moves
                 migration_energy_wh += _migration_energy(plan)
                 assignment = _apply_mapping(plan.final_mapping)
+                tel.event(
+                    "relief", time_s=step * dt_s, moves=plan.n_moves,
+                )
 
         placed = assignment >= 0
         unplaced_vm_steps += int(np.count_nonzero(~placed))
@@ -381,8 +431,33 @@ def run_largescale(
         power_series[step] = power_total
         active_series[step] = int(np.count_nonzero(hosting_mask))
         total_energy_wh += power_total * dt_s / 3600.0
+        if tel.enabled:
+            time_s = step * dt_s
+            # One event per server power transition (on <-> off).
+            changed = np.nonzero(hosting_mask != prev_hosting)[0]
+            for i in changed:
+                tel.event(
+                    "server_power",
+                    time_s=time_s,
+                    server=idx_to_sid[i],
+                    state="on" if hosting_mask[i] else "off",
+                )
+            prev_hosting = hosting_mask.copy()
+            tel.event(
+                "largescale.step",
+                time_s=time_s,
+                power_w=power_total,
+                active_servers=int(active_series[step]),
+                overloaded_servers=int(np.count_nonzero(overload & hosting_mask)),
+            )
 
     total_energy_wh += migration_energy_wh
+    logger.info(
+        "largescale run complete: %.1f Wh total (%.2f Wh/VM), %d migrations, "
+        "%d overloaded server-steps",
+        total_energy_wh, total_energy_wh / n_vms, migrations,
+        overload_server_steps,
+    )
     return LargeScaleResult(
         scheme=config.scheme,
         n_vms=n_vms,

@@ -58,16 +58,55 @@ class SeriesRecorder:
 
     One recorder per experiment run; benches read the arrays back to
     print the figure series.
+
+    By default every sample is kept.  For long (multi-day simulated)
+    runs pass ``max_points`` to bound memory: once a series reaches the
+    cap it is decimated — every second retained sample is dropped and
+    the sampling stride doubles, so the series stays evenly spaced over
+    the whole run and never exceeds ``max_points`` entries.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_points: int | None = None) -> None:
+        if max_points is not None and max_points < 2:
+            raise ValueError(f"max_points must be >= 2, got {max_points}")
+        self.max_points = max_points
         self._series: Dict[str, List[float]] = {}
         self._times: Dict[str, List[float]] = {}
+        self._strides: Dict[str, int] = {}
+        self._seen: Dict[str, int] = {}
 
     def record(self, name: str, time_s: float, value: float) -> None:
         """Append ``(time_s, value)`` to series *name*."""
-        self._series.setdefault(name, []).append(float(value))
-        self._times.setdefault(name, []).append(float(time_s))
+        if self.max_points is None:
+            self._series.setdefault(name, []).append(float(value))
+            self._times.setdefault(name, []).append(float(time_s))
+            return
+        seen = self._seen.get(name, 0)
+        stride = self._strides.setdefault(name, 1)
+        self._seen[name] = seen + 1
+        if seen % stride != 0:
+            return
+        vals = self._series.setdefault(name, [])
+        times = self._times.setdefault(name, [])
+        vals.append(float(value))
+        times.append(float(time_s))
+        if len(vals) >= self.max_points:
+            self._series[name] = vals[::2]
+            self._times[name] = times[::2]
+            self._strides[name] = stride * 2
+
+    def count(self, name: str) -> int:
+        """Total samples *offered* to series *name* (before decimation)."""
+        if self.max_points is None:
+            return len(self._series.get(name, []))
+        return self._seen.get(name, 0)
+
+    def clear(self) -> None:
+        """Drop all recorded series and reset decimation state."""
+        self._series.clear()
+        self._times.clear()
+        self._strides.clear()
+        self._seen.clear()
 
     def names(self) -> Sequence[str]:
         """Names of all recorded series, insertion-ordered."""

@@ -19,6 +19,7 @@ The flow per control period:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -37,6 +38,7 @@ from repro.core.controller.response_time_controller import (
     ResponseTimeController,
 )
 from repro.core.manager import PowerManager, PowerManagerConfig
+from repro.obs import get_telemetry
 from repro.sim.metrics import SeriesRecorder
 from repro.sysid.experiment import run_identification_experiment
 from repro.sysid.fit import fit_arx
@@ -44,6 +46,8 @@ from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.validation import check_positive
 
 __all__ = ["TestbedConfig", "TestbedResult", "TestbedExperiment"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -247,6 +251,24 @@ class TestbedExperiment:
         cfg = self.config
         dc, manager, plants = self.build(rng)
         recorder = SeriesRecorder()
+        tel = get_telemetry()
+        logger.info(
+            "testbed run: %d apps on %d servers, %.0fs at %.0fs periods, "
+            "setpoint %.0f ms",
+            cfg.n_apps, cfg.n_servers, cfg.duration_s, cfg.control_period_s,
+            cfg.setpoint_ms,
+        )
+        tel.event(
+            "run_config",
+            harness="testbed",
+            n_apps=cfg.n_apps,
+            n_servers=cfg.n_servers,
+            duration_s=cfg.duration_s,
+            control_period_s=cfg.control_period_s,
+            setpoint_ms=cfg.setpoint_ms,
+            controlled=cfg.controlled,
+            seed=cfg.seed,
+        )
         workloads = {
             i: cfg.workloads.get(i, ConstantWorkload(cfg.concurrency))
             for i in range(cfg.n_apps)
@@ -295,13 +317,23 @@ class TestbedExperiment:
             recorder.record("power/total", now, total_power)
             for sid, server in dc.servers.items():
                 recorder.record(f"freq/{sid}", now, server.freq_ghz)
+            tel.event(
+                "testbed.period",
+                time_s=now,
+                power_w=total_power,
+                active_servers=len(dc.active_servers()),
+            )
             # 4. Controllers + arbitrators set next period's allocations.
             if cfg.controlled:
-                step = manager.control_step(measurements, used_ghz=usages)
+                step = manager.control_step(measurements, used_ghz=usages, time_s=now)
                 for i in range(cfg.n_apps):
                     granted = step.granted_ghz[f"app{i}"]
                     for j in range(2):
                         recorder.record(f"alloc/app{i}/tier{j}", now, granted[j])
+        logger.info(
+            "testbed run complete: %d periods, mean power %.1f W",
+            n_periods, recorder.summary("power/total")["mean"],
+        )
         return TestbedResult(
             recorder=recorder,
             model=self._shared_model,

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.control.arx import ARXModel
+from repro.obs import get_telemetry
 from repro.util.validation import check_in_range, check_positive
 
 __all__ = ["RecursiveARXEstimator"]
@@ -131,6 +132,16 @@ class RecursiveARXEstimator:
         x = self.regressor(t_hist, c_hist)
         if not np.all(np.isfinite(x)):
             return self.model
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._update(measured_t, x)
+        with tel.span("sysid.rls.update"):
+            model = self._update(measured_t, x)
+        tel.count("sysid.rls.updates")
+        return model
+
+    def _update(self, measured_t: float, x: np.ndarray) -> ARXModel:
+        """The RLS arithmetic, factored out of the traced entry point."""
         lam = self.forgetting
         Px = self.P @ x
         denom = lam + float(x @ Px)

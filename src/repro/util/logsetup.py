@@ -1,0 +1,58 @@
+"""Stdlib-logging wiring shared by the CLI entry points.
+
+The library logs through module-level ``repro.*`` loggers and never
+configures handlers itself (the usual library discipline — embedding
+applications decide where logs go).  The CLI entry points call
+:func:`configure_logging` to attach one stderr handler to the ``repro``
+root logger; the default level is WARNING, so runs are as quiet as
+before the logging wiring existed unless ``--verbose`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+__all__ = ["add_verbosity_flags", "configure_logging"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def add_verbosity_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--verbose``/``--quiet`` flags to *parser*."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress (-v: INFO, -vv: DEBUG)",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings (errors only)",
+    )
+
+
+def configure_logging(verbose: int = 0, quiet: bool = False) -> logging.Logger:
+    """Point the ``repro`` logger hierarchy at stderr; returns the logger.
+
+    Level mapping: default WARNING, ``-v`` INFO, ``-vv`` (or more) DEBUG,
+    ``--quiet`` ERROR.  Idempotent — repeated calls reconfigure the same
+    handler instead of stacking duplicates.
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

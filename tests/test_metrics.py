@@ -43,6 +43,42 @@ class TestSeriesRecorder:
         assert math.isnan(s["mean"])
         assert s["n"] == 0
 
+    def test_max_points_bounds_memory(self):
+        r = SeriesRecorder(max_points=16)
+        for i in range(10_000):
+            r.record("x", float(i), float(i))
+        assert len(r.values("x")) < 16
+        assert r.count("x") == 10_000
+
+    def test_max_points_keeps_even_spacing(self):
+        r = SeriesRecorder(max_points=16)
+        for i in range(1024):
+            r.record("x", float(i), float(i))
+        t = r.times("x")
+        # decimation keeps a uniform stride, so gaps are all equal
+        gaps = np.diff(t)
+        assert len(set(gaps.tolist())) == 1
+        assert t[0] == 0.0
+
+    def test_max_points_below_cap_is_lossless(self):
+        r = SeriesRecorder(max_points=100)
+        for i in range(50):
+            r.record("x", float(i), float(i) * 2)
+        np.testing.assert_array_equal(r.values("x"), np.arange(50) * 2.0)
+
+    def test_max_points_validation(self):
+        with pytest.raises(ValueError):
+            SeriesRecorder(max_points=1)
+
+    def test_clear(self):
+        r = SeriesRecorder(max_points=8)
+        for i in range(100):
+            r.record("x", float(i), float(i))
+        r.clear()
+        assert r.values("x").shape == (0,)
+        assert r.count("x") == 0
+        assert list(r.names()) == []
+
 
 class TestEnergyMeter:
     def test_integration(self):
@@ -74,3 +110,15 @@ class TestPeriodStats:
         s = PeriodStats(1.0, 0.5, 10, 2.0, (0.5, 0.6))
         with pytest.raises(Exception):
             s.rt_p90_ms = 2.0
+
+    def test_metric_lookup(self):
+        s = PeriodStats(90.0, 50.0, 10, 2.0, (0.5,), rt_p50_ms=45.0, rt_max_ms=99.0)
+        assert s.metric("p90") == 90.0
+        assert s.metric("p50") == 45.0
+        assert s.metric("mean") == 50.0
+        assert s.metric("max") == 99.0
+
+    def test_metric_unknown_name_raises(self):
+        s = PeriodStats(90.0, 50.0, 10, 2.0, (0.5,))
+        with pytest.raises(ValueError, match="unknown SLA metric"):
+            s.metric("p95")

@@ -168,6 +168,13 @@ class _Tier:
     def set_capacity(self, capacity_ghz: float) -> None:
         self.resource.set_capacity(capacity_ghz)
 
+    def degrade(self, fraction: float) -> None:
+        self.resource.degrade(fraction)
+
+    @property
+    def degrade_fraction(self) -> float:
+        return self.resource.degrade_fraction
+
     def reset_counters(self) -> None:
         self.resource.reset_counters()
 
@@ -248,6 +255,19 @@ class MultiTierApp:
             value = float(np.clip(alloc[j], tier.min_alloc_ghz, tier.max_alloc_ghz))
             self._alloc[j] = value
             res.set_capacity(value)
+
+    def degrade_tier(self, tier_index: int, fraction: float) -> None:
+        """Deliver only *fraction* of tier ``tier_index``'s allocation.
+
+        Fault-injection hook: the hosting server crashed (fraction 0) or
+        is thermally throttled.  Orthogonal to :meth:`set_allocations` —
+        a later allocation change keeps the degradation fraction.
+        """
+        self._tiers[tier_index].degrade(fraction)
+
+    def tier_degrade_fraction(self, tier_index: int) -> float:
+        """Current degradation fraction of tier ``tier_index``."""
+        return self._tiers[tier_index].degrade_fraction
 
     def allocation_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
         """(lower, upper) per-tier allocation bounds in GHz."""

@@ -1,12 +1,15 @@
 """Command-line entry points (installed as ``repro-testbed``,
-``repro-largescale``, ``repro-trace``, and ``repro-obs``).
+``repro-largescale``, ``repro-trace``, ``repro-obs``, and
+``repro-faults``).
 
 Each command runs one of the paper's experiments with configurable
 parameters and prints a plain-text report; they are thin wrappers over
 the same harnesses the benchmark suite uses.  All commands take
 ``--verbose``/``--quiet``; the run commands additionally take
 ``--trace-jsonl PATH`` to record a structured telemetry log that
-``repro-obs summarize`` can render.
+``repro-obs summarize`` can render, and ``--faults PATH`` to inject a
+deterministic fault scenario (validate/generate one with
+``repro-faults``).
 """
 
 from __future__ import annotations
@@ -40,6 +43,22 @@ def _telemetry_scope(jsonl_path: Optional[str]):
     return use_telemetry(Telemetry(JsonlBackend(jsonl_path)))
 
 
+def _load_fault_schedule(path: Optional[str]):
+    """Load ``--faults PATH`` into a FaultSchedule, or exit with errors."""
+    if path is None:
+        return None
+    from repro.faults import FaultSchedule, FaultSpecError
+
+    try:
+        return FaultSchedule.from_json(path)
+    except OSError as exc:
+        print(f"cannot read fault spec {path}: {exc.strerror or exc}", file=sys.stderr)
+        raise SystemExit(1)
+    except (FaultSpecError, ValueError) as exc:
+        print(f"invalid fault spec {path}:\n{exc}", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def main_testbed(argv: Optional[List[str]] = None) -> int:
     """Run the simulated 4-server / 8-application testbed."""
     parser = argparse.ArgumentParser(
@@ -60,6 +79,11 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         "--trace-jsonl", metavar="PATH", default=None,
         help="record telemetry (spans, events, metrics) to a JSONL file",
     )
+    parser.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="inject the fault scenario described by this JSON spec "
+        "(see repro-faults)",
+    )
     add_verbosity_flags(parser)
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
@@ -75,6 +99,7 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         setpoint_ms=args.setpoint,
         concurrency=args.concurrency,
         workloads=workloads,
+        faults=_load_fault_schedule(args.faults),
         seed=args.seed,
     )
     with _telemetry_scope(args.trace_jsonl):
@@ -107,10 +132,16 @@ def main_largescale(argv: Optional[List[str]] = None) -> int:
         "--trace-jsonl", metavar="PATH", default=None,
         help="record telemetry (spans, events, metrics) to a JSONL file",
     )
+    parser.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="inject the fault scenario described by this JSON spec "
+        "(see repro-faults)",
+    )
     add_verbosity_flags(parser)
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
 
+    fault_schedule = _load_fault_schedule(args.faults)
     trace = generate_trace(
         TraceConfig(n_servers=max(args.vms), n_days=args.days), rng=args.seed
     )
@@ -124,6 +155,7 @@ def main_largescale(argv: Optional[List[str]] = None) -> int:
                     LargeScaleConfig(
                         n_vms=n, n_servers=args.servers, scheme=scheme,
                         provisioning=args.provisioning, ondemand_relief=args.relief,
+                        faults=fault_schedule,
                         seed=args.seed,
                     ),
                 )
@@ -198,6 +230,92 @@ def main_obs(argv: Optional[List[str]] = None) -> int:
         print(_json.dumps(summary, indent=2, default=str))
     else:
         print(render_summary(summary, title=args.path))
+    return 0
+
+
+def main_faults(argv: Optional[List[str]] = None) -> int:
+    """Validate or generate fault-injection scenario files."""
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="Work with fault-injection scenario specs (JSON) for "
+        "repro-testbed / repro-largescale --faults.",
+    )
+    add_verbosity_flags(parser)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_val = sub.add_parser(
+        "validate", help="check a scenario file and summarize its timeline"
+    )
+    p_val.add_argument("path", help="fault spec JSON file")
+
+    p_gen = sub.add_parser(
+        "generate",
+        help="write a random (seeded, reproducible) scenario file",
+    )
+    p_gen.add_argument("output", help="output JSON path")
+    p_gen.add_argument("--horizon", type=float, default=600.0,
+                       help="scenario length in seconds")
+    p_gen.add_argument("--server-ids", nargs="+", default=["T0", "T1", "T2", "T3"],
+                       help="servers faults may target (testbed default: T0..T3)")
+    p_gen.add_argument("--app-ids", nargs="*", default=[],
+                       help="applications sensor faults may target")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--crash-rate", type=float, default=0.5,
+                       help="server crashes per hour (Poisson)")
+    p_gen.add_argument("--throttle-rate", type=float, default=0.5,
+                       help="thermal throttles per hour (Poisson)")
+    p_gen.add_argument("--sensor-rate", type=float, default=0.0,
+                       help="sensor outages per hour (Poisson)")
+    p_gen.add_argument("--mean-duration", type=float, default=600.0,
+                       help="mean fault duration in seconds (exponential)")
+
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+    from repro.faults import FaultSchedule, validate_spec
+
+    if args.command == "validate":
+        import json as _json
+
+        try:
+            with open(args.path, "r", encoding="utf-8") as fh:
+                spec = _json.load(fh)
+        except OSError as exc:
+            print(f"repro-faults: cannot read {args.path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"repro-faults: {args.path} is not JSON: {exc}", file=sys.stderr)
+            return 1
+        problems = validate_spec(spec)
+        if problems:
+            for p in problems:
+                print(f"repro-faults: {p}", file=sys.stderr)
+            return 1
+        schedule = FaultSchedule.from_spec(spec)
+        by_kind: dict = {}
+        for ev in schedule.events:
+            by_kind[ev.kind] = by_kind.get(ev.kind, 0) + 1
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(by_kind.items()))
+        last = max((ev.end_time_s for ev in schedule.events), default=0.0)
+        print(
+            f"{args.path}: OK — {len(schedule)} events ({kinds}), "
+            f"seed {schedule.seed}, last transition at {last:.0f}s"
+        )
+        return 0
+
+    schedule = FaultSchedule.random(
+        horizon_s=args.horizon,
+        server_ids=args.server_ids,
+        app_ids=args.app_ids,
+        seed=args.seed,
+        crash_rate_per_hour=args.crash_rate,
+        throttle_rate_per_hour=args.throttle_rate,
+        sensor_rate_per_hour=args.sensor_rate,
+        mean_duration_s=args.mean_duration,
+    )
+    schedule.to_json(args.output)
+    print(f"wrote {args.output}: {len(schedule)} events over {args.horizon:.0f}s "
+          f"(seed {args.seed})")
     return 0
 
 

@@ -9,14 +9,24 @@ migration interface" and "sleep/active commands" (Fig. 1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.cluster.application import Application
-from repro.cluster.migration import LiveMigrationModel, MigrationRecord
+from repro.cluster.migration import (
+    LiveMigrationModel,
+    MigrationFailedError,
+    MigrationRecord,
+)
 from repro.cluster.server import Server
 from repro.cluster.vm import VM
 
 __all__ = ["DataCenter"]
+
+# Fault-injection hook: (vm_id, source_id, target_id) -> True to disrupt
+# this migration attempt.  Installed by repro.faults.FaultInjector while
+# a migration_failure fault is active; None means migrations always
+# succeed (the default, fault-free world).
+MigrationDisruptor = Callable[[str, str, str], bool]
 
 
 class DataCenter:
@@ -32,6 +42,9 @@ class DataCenter:
         self.migration_log: List[MigrationRecord] = []
         self.wake_count = 0
         self.sleep_count = 0
+        self.migration_disruptor: Optional[MigrationDisruptor] = None
+        self.failure_count = 0
+        self.recovery_count = 0
 
     # -- registration --------------------------------------------------
 
@@ -88,8 +101,12 @@ class DataCenter:
         return [s for _, s in sorted(self.servers.items()) if s.active]
 
     def sleeping_servers(self) -> List[Server]:
-        """Servers currently asleep, id-ordered."""
+        """Servers currently asleep (including crashed ones), id-ordered."""
         return [s for _, s in sorted(self.servers.items()) if not s.active]
+
+    def failed_servers(self) -> List[Server]:
+        """Servers currently crashed, id-ordered."""
+        return [s for _, s in sorted(self.servers.items()) if s.failed]
 
     def overloaded_servers(self, headroom: float = 1.0) -> List[str]:
         """Ids of servers whose demand exceeds max capacity / headroom.
@@ -166,6 +183,10 @@ class DataCenter:
             raise ValueError(
                 f"migrating {vm_id} to {target_id} would exceed its memory"
             )
+        if self.migration_disruptor is not None and self.migration_disruptor(
+            vm_id, source_id, target_id
+        ):
+            raise MigrationFailedError(vm_id, source_id, target_id)
         self._server_vms[source_id].discard(vm_id)
         self._server_vms[target_id].add(vm_id)
         self._vm_to_server[vm_id] = target_id
@@ -194,9 +215,49 @@ class DataCenter:
     def wake_server(self, server_id: str) -> None:
         """Wake a sleeping server (no-op if already active)."""
         server = self._require_server(server_id)
+        if server.failed:
+            raise ValueError(f"cannot wake crashed server {server_id}")
         if not server.active:
             server.wake()
             self.wake_count += 1
+
+    # -- faults ----------------------------------------------------------
+
+    def fail_server(self, server_id: str) -> List[str]:
+        """Crash a server: evict every hosted VM, mark it failed.
+
+        Returns the evicted VM ids (id-ordered) so the caller — normally
+        :meth:`repro.core.manager.PowerManager.emergency_evacuate` via
+        the fault injector — can re-place them.  Evicted VMs lose their
+        allocation (they are not running anywhere) but keep their
+        demand, which is what the evacuation packer places against.
+        Idempotent on an already-failed server (returns ``[]``).
+        """
+        server = self._require_server(server_id)
+        if server.failed:
+            return []
+        evicted = sorted(self._server_vms[server_id])
+        for vm_id in evicted:
+            self._vm_to_server.pop(vm_id, None)
+            self.vms[vm_id].allocation_ghz = 0.0
+        self._server_vms[server_id].clear()
+        server.fail()
+        self.failure_count += 1
+        return evicted
+
+    def recover_server(self, server_id: str) -> None:
+        """Repair a crashed server; it rejoins the *sleeping* pool.
+
+        The next optimizer invocation (or an explicit
+        :meth:`wake_server`) decides whether to bring it back into
+        service.  No-op if the server is not failed.
+        """
+        server = self._require_server(server_id)
+        if not server.failed:
+            return
+        server.repair()
+        server.unthrottle()
+        self.recovery_count += 1
 
     # -- power -----------------------------------------------------------
 

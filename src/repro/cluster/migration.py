@@ -13,7 +13,28 @@ from dataclasses import dataclass
 
 from repro.util.validation import check_in_range, check_positive
 
-__all__ = ["LiveMigrationModel", "MigrationRecord"]
+__all__ = ["LiveMigrationModel", "MigrationRecord", "MigrationFailedError"]
+
+
+class MigrationFailedError(RuntimeError):
+    """A live migration attempt was disrupted before completing.
+
+    Raised by :meth:`repro.cluster.datacenter.DataCenter.migrate` when a
+    fault-injection disruptor aborts the transfer.  The failure is
+    atomic: the VM is still on its source host, so callers may simply
+    retry (:func:`repro.core.optimizer.types.apply_plan` does, with
+    backoff) or leave the VM where it is.
+    """
+
+    def __init__(self, vm_id: str, source_id: str, target_id: str, attempt: int = 1):
+        super().__init__(
+            f"migration of {vm_id} from {source_id} to {target_id} failed "
+            f"(attempt {attempt})"
+        )
+        self.vm_id = vm_id
+        self.source_id = source_id
+        self.target_id = target_id
+        self.attempt = attempt
 
 
 @dataclass(frozen=True)

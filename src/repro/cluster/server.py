@@ -94,31 +94,43 @@ class ServerSpec:
 class Server:
     """A physical server instance with runtime state.
 
-    State is limited to what the paper's algorithms manipulate: the
-    active/sleep flag and the current DVFS frequency.  VM placement is
-    tracked by :class:`repro.cluster.datacenter.DataCenter` to keep a
-    single source of truth.
+    State is limited to what the paper's algorithms (and the fault
+    subsystem) manipulate: the active/sleep flag, the current DVFS
+    frequency, a crashed flag, and a thermal-throttle capacity fraction.
+    VM placement is tracked by
+    :class:`repro.cluster.datacenter.DataCenter` to keep a single source
+    of truth.
     """
 
-    __slots__ = ("server_id", "spec", "active", "freq_ghz")
+    __slots__ = ("server_id", "spec", "active", "freq_ghz", "failed", "capacity_fraction")
 
     def __init__(self, server_id: str, spec: ServerSpec, active: bool = True):
         self.server_id = server_id
         self.spec = spec
         self.active = bool(active)
         self.freq_ghz = spec.cpu.max_freq_ghz
+        self.failed = False
+        self.capacity_fraction = 1.0
+
+    def capacity_at(self, freq_ghz: float) -> float:
+        """Effective capacity at a frequency, throttle applied."""
+        return self.spec.cpu.capacity_at(freq_ghz) * self.capacity_fraction
 
     @property
     def capacity_ghz(self) -> float:
         """Capacity at the *current* frequency (0 when sleeping)."""
         if not self.active:
             return 0.0
-        return self.spec.cpu.capacity_at(self.freq_ghz)
+        return self.capacity_at(self.freq_ghz)
 
     @property
     def max_capacity_ghz(self) -> float:
-        """Capacity at maximum frequency regardless of state."""
-        return self.spec.max_capacity_ghz
+        """Effective capacity at maximum frequency regardless of state.
+
+        A thermal throttle scales this down, so overload detection and
+        the optimizer's packing both see the degraded machine.
+        """
+        return self.spec.max_capacity_ghz * self.capacity_fraction
 
     def set_frequency(self, freq_ghz: float) -> None:
         """Switch to one of the spec's discrete DVFS levels."""
@@ -132,6 +144,8 @@ class Server:
 
     def power_w(self, used_ghz: float) -> float:
         """Instantaneous power given average GHz actually consumed."""
+        if self.failed:
+            return 0.0  # a crashed server draws nothing
         if not self.active:
             return self.spec.power.sleep_power_w()
         cap = self.capacity_ghz
@@ -145,9 +159,33 @@ class Server:
 
     def wake(self) -> None:
         """Leave the sleep state at maximum frequency."""
+        if self.failed:
+            raise ValueError(f"cannot wake crashed server {self.server_id}")
         self.active = True
         self.freq_ghz = self.spec.cpu.max_freq_ghz
 
+    # -- fault state ---------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash: drop out of the active pool until :meth:`repair`."""
+        self.failed = True
+        self.active = False
+
+    def repair(self) -> None:
+        """Clear the crashed flag; the server rejoins the *sleeping*
+        pool (a wake/optimizer decision brings it back into service)."""
+        self.failed = False
+
+    def throttle(self, fraction: float) -> None:
+        """Clamp effective capacity to ``fraction`` of nominal (0, 1]."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"throttle fraction must be in (0, 1], got {fraction}")
+        self.capacity_fraction = float(fraction)
+
+    def unthrottle(self) -> None:
+        """Restore nominal capacity."""
+        self.capacity_fraction = 1.0
+
     def __repr__(self) -> str:
-        state = "active" if self.active else "sleeping"
+        state = "failed" if self.failed else ("active" if self.active else "sleeping")
         return f"Server({self.server_id}, {self.spec.name}, {state}, {self.freq_ghz}GHz)"

@@ -89,11 +89,14 @@ class CPUResourceArbitrator:
         """The DVFS + share selection, factored out of the traced entry."""
         total = float(sum(demands_ghz.values()))
         cpu = server.spec.cpu
-        # Lowest DVFS level whose capacity covers demand plus headroom.
-        freq = cpu.lowest_level_for(total / self.headroom if total > 0 else 0.0)
+        # Lowest DVFS level whose *effective* capacity covers demand plus
+        # headroom (a thermal throttle scales every level down, so the
+        # nominal level that covers the demand is correspondingly higher).
+        needed = total / self.headroom if total > 0 else 0.0
+        freq = cpu.lowest_level_for(needed / server.capacity_fraction)
         server.set_frequency(freq)
-        capacity = cpu.capacity_at(freq)
-        overloaded = total > cpu.max_capacity_ghz * self.headroom + 1e-9
+        capacity = server.capacity_at(freq)
+        overloaded = total > server.max_capacity_ghz * self.headroom + 1e-9
         if total <= capacity + 1e-12 or total == 0.0:
             allocations = {vm_id: float(d) for vm_id, d in demands_ghz.items()}
         else:

@@ -16,6 +16,7 @@ import numpy as np
 from repro.control.arx import ARXModel
 from repro.control.mpc_core import MPCConfig, MPCController, MPCSolution
 from repro.core.controller.reference import exponential_reference
+from repro.obs import get_telemetry
 from repro.util.validation import check_positive
 
 __all__ = ["ControllerConfig", "ResponseTimeController"]
@@ -61,6 +62,21 @@ class ControllerConfig:
     util_band_headroom_ghz:
         Additive headroom on the band's upper allocation cap, so a tier
         can grow out of a near-idle state.
+    missing_policy:
+        What a non-finite (NaN/inf) measurement means.
+        ``"pessimistic"`` (default, the original behaviour): treat it
+        as total starvation — substitute the clamp limit so allocation
+        is pushed up.  ``"hold"``: treat it as a *lost sample* (sensor
+        dropout, monitoring outage) — keep the last demands unchanged
+        and skip the model update, for up to ``max_hold_periods``
+        consecutive losses, after which the controller falls back to
+        the pessimistic substitution (a long outage is
+        indistinguishable from starvation).  Held periods increment the
+        ``controller.held_updates`` telemetry counter; every non-finite
+        sample increments ``controller.missing_measurements``.
+    max_hold_periods:
+        Consecutive lost samples tolerated under ``missing_policy=
+        "hold"`` before escalating to the pessimistic substitution.
     """
 
     setpoint_ms: float = 1000.0
@@ -78,8 +94,19 @@ class ControllerConfig:
     bias_gain: float = 0.3
     util_band: Optional[tuple] = (0.75, 0.985)
     util_band_headroom_ghz: float = 0.1
+    missing_policy: str = "pessimistic"
+    max_hold_periods: int = 3
 
     def __post_init__(self):
+        if self.missing_policy not in ("pessimistic", "hold"):
+            raise ValueError(
+                f"missing_policy must be 'pessimistic' or 'hold', "
+                f"got {self.missing_policy!r}"
+            )
+        if self.max_hold_periods < 1:
+            raise ValueError(
+                f"max_hold_periods must be >= 1, got {self.max_hold_periods}"
+            )
         check_positive("setpoint_ms", self.setpoint_ms)
         check_positive("period_s", self.period_s)
         check_positive("ref_time_constant_s", self.ref_time_constant_s)
@@ -138,6 +165,8 @@ class ResponseTimeController:
         self._last_valid_t = config.setpoint_ms
         self._bias = 0.0
         self._last_raw_prediction: Optional[float] = None
+        self._consecutive_missing = 0
+        self.held_updates = 0
         self.last_solution: Optional[MPCSolution] = None
 
     @property
@@ -159,15 +188,29 @@ class ResponseTimeController:
         period; when provided (and ``util_band`` is configured) it drives
         the dynamic per-tier allocation bounds.
 
-        A NaN measurement (no request completed this period — e.g. total
-        starvation) is replaced by the clamp limit, the most pessimistic
-        in-range value, so the controller pushes allocation up instead of
-        stalling.
+        A non-finite measurement is handled by ``config.missing_policy``:
+        replaced by the clamp limit — the most pessimistic in-range
+        value, so the controller pushes allocation up instead of
+        stalling — or (``"hold"``) the last demands are re-emitted
+        unchanged for up to ``max_hold_periods`` consecutive losses
+        before escalating to the pessimistic substitution.
         """
         cfg = self.config
         if not np.isfinite(measured_rt_ms):
+            self._consecutive_missing += 1
+            get_telemetry().count("controller.missing_measurements")
+            if (
+                cfg.missing_policy == "hold"
+                and self._consecutive_missing <= cfg.max_hold_periods
+            ):
+                # Lost sample: no new information, keep the last demands
+                # and leave model histories / bias untouched.
+                self.held_updates += 1
+                get_telemetry().count("controller.held_updates")
+                return self._c_hist[0].copy()
             t_k = cfg.measurement_limit_ms
         else:
+            self._consecutive_missing = 0
             t_k = float(np.clip(measured_rt_ms, 0.0, cfg.measurement_limit_ms))
             self._last_valid_t = t_k
         # Offset-free correction: filter the innovation between what the

@@ -22,7 +22,9 @@ from repro.cluster.datacenter import DataCenter
 from repro.core.arbitrator import ArbitrationResult, CPUResourceArbitrator
 from repro.core.controller.response_time_controller import ResponseTimeController
 from repro.core.optimizer.ipac import IPACConfig, ipac
+from repro.core.optimizer.pac import PACConfig, pac
 from repro.core.optimizer.types import (
+    ApplyReport,
     PlacementPlan,
     PlacementProblem,
     apply_plan,
@@ -159,11 +161,18 @@ class PowerManager:
     ) -> ControlStepResult:
         """The three-phase control period, factored out of the traced entry."""
         dc = self.dc
+        # 0. Validate the whole batch before mutating anything: a missing
+        # controller discovered mid-loop would otherwise leave the data
+        # center half-updated (some apps' VM demands written, others not).
+        unregistered = sorted(a for a in measurements if a not in self.controllers)
+        if unregistered:
+            raise KeyError(
+                f"no controller registered for {unregistered!r}; "
+                "control step aborted before any demand was written"
+            )
         # 1. Application level: controllers emit new per-VM demands.
         for app_id, rt_ms in measurements.items():
-            controller = self.controllers.get(app_id)
-            if controller is None:
-                raise KeyError(f"no controller registered for {app_id!r}")
+            controller = self.controllers[app_id]
             usage = used_ghz.get(app_id) if used_ghz is not None else None
             demands = controller.update(rt_ms, used_ghz=usage)
             app = dc.applications[app_id]
@@ -205,35 +214,121 @@ class PowerManager:
         with tel.span("optimizer.invoke", time_s=time_s) as sp:
             plan = self.optimizer(problem)
             sp.annotate(moves=plan.n_moves, wake=len(plan.wake), sleep=len(plan.sleep))
-        apply_plan(self.dc, plan, time_s=time_s)
+        report = apply_plan(self.dc, plan, time_s=time_s)
         logger.info(
-            "optimizer t=%.1fs: %d moves, wake %d, sleep %d, %d active servers",
-            time_s, plan.n_moves, len(plan.wake), len(plan.sleep),
-            len(self.dc.active_servers()),
+            "optimizer t=%.1fs: %d moves (%d completed), wake %d, sleep %d, "
+            "%d active servers",
+            time_s, plan.n_moves, report.n_completed, len(plan.wake),
+            len(plan.sleep), len(self.dc.active_servers()),
+        )
+        self._emit_apply_telemetry(plan, report, time_s)
+        return plan
+
+    def _emit_apply_telemetry(
+        self, plan: PlacementPlan, report: ApplyReport, time_s: float
+    ) -> None:
+        """Events + counters for one applied plan (no-op when disabled)."""
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        tel.count("optimizer.invocations")
+        tel.count("optimizer.migrations", report.n_completed)
+        if report.failed_migrations:
+            tel.count("optimizer.migrations_failed", len(report.failed_migrations))
+        tel.event(
+            "optimizer_invocation",
+            time_s=time_s,
+            moves=plan.n_moves,
+            completed=report.n_completed,
+            failed=len(report.failed_migrations),
+            wake=len(plan.wake),
+            sleep=len(plan.sleep),
+            unplaced=len(plan.unplaced),
+            active_servers=len(self.dc.active_servers()),
+            migration_seconds=report.total_duration_s,
+            migration_mb=report.total_bytes_moved_mb,
+            info=dict(plan.info),
+        )
+        for rec in report.records:
+            tel.event(
+                "migration",
+                time_s=rec.time_s,
+                vm=rec.vm_id,
+                source=rec.source_id,
+                target=rec.target_id,
+                duration_s=rec.duration_s,
+                bytes_moved_mb=rec.bytes_moved_mb,
+            )
+        for mig in report.failed_migrations:
+            tel.event(
+                "migration_failed",
+                time_s=time_s,
+                vm=mig.vm_id,
+                source=mig.source_id,
+                target=mig.target_id,
+            )
+        for sid in plan.wake:
+            if sid not in report.skipped_wake:
+                tel.event("server_power", time_s=time_s, server=sid, state="on")
+        for sid in plan.sleep:
+            if sid not in report.skipped_sleep:
+                tel.event("server_power", time_s=time_s, server=sid, state="off")
+
+    def emergency_evacuate(
+        self, failed_server_id: str, vm_ids: List[str], time_s: float = 0.0
+    ) -> PlacementPlan:
+        """Fast-path re-placement of VMs evicted by a server crash.
+
+        Runs immediately (between control periods) instead of waiting
+        for the next optimizer invocation: the evicted VMs are packed
+        onto the surviving *active* servers via Minimum Slack (PAC on
+        the active subset); anything that does not fit is placed in a
+        second pass over the full problem, which may wake sleeping
+        servers.  The crashed server itself is already excluded from the
+        snapshot by :func:`snapshot_datacenter`.
+        """
+        tel = get_telemetry()
+        vm_ids = sorted(vm_ids)
+        placed: List[str] = []
+        woke: List[str] = []
+        with tel.span(
+            "manager.evacuate", server=failed_server_id, vms=len(vm_ids)
+        ) as sp:
+            pac_cfg = PACConfig()
+            problem = snapshot_datacenter(self.dc)
+            active = tuple(s for s in problem.servers if s.active)
+            stragglers = list(vm_ids)
+            plan = PlacementPlan(final_mapping=dict(problem.mapping), unplaced=stragglers)
+            if active:
+                sub = PlacementProblem(active, problem.vms, dict(problem.mapping))
+                plan = pac(sub, vm_ids, pac_cfg)
+                plan.sleep = []  # evacuation never powers servers down
+                report = apply_plan(self.dc, plan, time_s=time_s)
+                placed.extend(report.placed)
+                stragglers = list(plan.unplaced)
+            if stragglers:
+                # Survivors cannot absorb everything: recruit sleepers.
+                problem = snapshot_datacenter(self.dc)
+                plan = pac(problem, stragglers, pac_cfg)
+                plan.sleep = []
+                report = apply_plan(self.dc, plan, time_s=time_s)
+                placed.extend(report.placed)
+                woke.extend(s for s in plan.wake if s not in report.skipped_wake)
+            sp.annotate(placed=len(placed), unplaced=len(plan.unplaced))
+        logger.warning(
+            "emergency evacuation of %s t=%.1fs: %d VMs, %d re-placed, %d unplaced",
+            failed_server_id, time_s, len(vm_ids), len(placed), len(plan.unplaced),
         )
         if tel.enabled:
-            tel.count("optimizer.invocations")
-            tel.count("optimizer.migrations", plan.n_moves)
+            tel.count("manager.evacuations")
+            tel.count("manager.evacuated_vms", len(vm_ids))
             tel.event(
-                "optimizer_invocation",
+                "evacuation",
                 time_s=time_s,
-                moves=plan.n_moves,
-                wake=len(plan.wake),
-                sleep=len(plan.sleep),
-                unplaced=len(plan.unplaced),
-                active_servers=len(self.dc.active_servers()),
-                info=dict(plan.info),
+                server=failed_server_id,
+                vms=vm_ids,
+                placed=placed,
+                unplaced=list(plan.unplaced),
+                woke=woke,
             )
-            for mig in plan.migrations:
-                tel.event(
-                    "migration",
-                    time_s=time_s,
-                    vm=mig.vm_id,
-                    source=mig.source_id,
-                    target=mig.target_id,
-                )
-            for sid in plan.wake:
-                tel.event("server_power", time_s=time_s, server=sid, state="on")
-            for sid in plan.sleep:
-                tel.event("server_power", time_s=time_s, server=sid, state="off")
         return plan

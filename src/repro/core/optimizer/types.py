@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.datacenter import DataCenter
+from repro.cluster.migration import MigrationFailedError, MigrationRecord
 
 __all__ = [
     "VMInfo",
@@ -20,6 +21,7 @@ __all__ = [
     "PlacementProblem",
     "Migration",
     "PlacementPlan",
+    "ApplyReport",
     "snapshot_datacenter",
     "apply_plan",
 ]
@@ -147,20 +149,67 @@ class PlacementPlan:
         return sum(1 for m in self.migrations if m.source_id is not None)
 
 
+@dataclass
+class ApplyReport:
+    """What actually happened when a plan hit the live data center.
+
+    In a fault-free world every planned move lands and the report is
+    all-success.  Under fault injection, migrations can be disrupted
+    (``failed_migrations``), wake commands can target crashed hardware
+    (``skipped_wake``), and a sleep command for a server still hosting
+    a VM whose outbound move failed is skipped (``skipped_sleep``).
+
+    ``records`` carries one :class:`MigrationRecord` per completed
+    migration, so callers can account each move's ``duration_s`` and
+    ``bytes_moved_mb`` instead of treating it as instantaneous and
+    free; ``retries`` counts failed attempts that a later attempt
+    redeemed.
+    """
+
+    records: List[MigrationRecord] = field(default_factory=list)
+    placed: List[str] = field(default_factory=list)
+    failed_migrations: List[Migration] = field(default_factory=list)
+    skipped_wake: List[str] = field(default_factory=list)
+    skipped_sleep: List[str] = field(default_factory=list)
+    retries: int = 0
+
+    @property
+    def n_completed(self) -> int:
+        """Completed migrations (true moves, not initial placements)."""
+        return len(self.records)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Aggregate live-migration wall time across completed moves."""
+        return sum(r.duration_s for r in self.records)
+
+    @property
+    def total_bytes_moved_mb(self) -> float:
+        """Aggregate migration traffic across completed moves."""
+        return sum(r.bytes_moved_mb for r in self.records)
+
+
 def snapshot_datacenter(dc: DataCenter) -> PlacementProblem:
-    """Build an optimizer snapshot from live data-center state."""
+    """Build an optimizer snapshot from live data-center state.
+
+    Crashed servers are excluded entirely: they cannot host, cannot be
+    woken, and (post-eviction) host nothing, so the optimizer must not
+    see them as a sleeping resource it could recruit.  Capacity and
+    efficiency reflect any thermal throttle currently applied.
+    """
     servers = tuple(
         ServerInfo(
             server_id=s.server_id,
-            max_capacity_ghz=s.spec.max_capacity_ghz,
+            max_capacity_ghz=s.max_capacity_ghz,
             memory_mb=float(s.spec.memory_mb),
-            efficiency=s.spec.power_efficiency,
+            efficiency=s.max_capacity_ghz / s.spec.power.busy_w,
             active=s.active,
             idle_w=s.spec.power.idle_w,
             busy_w=s.spec.power.busy_w,
             sleep_w=s.spec.power.sleep_w,
         )
         for _, s in sorted(dc.servers.items())
+        if not s.failed
     )
     vms = tuple(
         VMInfo(vm_id=v.vm_id, demand_ghz=v.demand_ghz, memory_mb=float(v.memory_mb))
@@ -169,18 +218,72 @@ def snapshot_datacenter(dc: DataCenter) -> PlacementProblem:
     return PlacementProblem(servers=servers, vms=vms, mapping=dc.mapping())
 
 
-def apply_plan(dc: DataCenter, plan: PlacementPlan, time_s: float = 0.0) -> None:
+def apply_plan(
+    dc: DataCenter,
+    plan: PlacementPlan,
+    time_s: float = 0.0,
+    max_attempts: int = 3,
+    retry_backoff_s: float = 5.0,
+) -> ApplyReport:
     """Execute a plan against the live data center.
 
     Order matters: wake targets first, then move VMs, then sleep the
     emptied servers — the same sequencing a real orchestrator needs.
+
+    The execution is fault-tolerant:
+
+    * wake commands for servers that crashed between planning and
+      execution are skipped (the plan is stale, not wrong);
+    * a disrupted migration (:class:`MigrationFailedError`) is retried
+      up to ``max_attempts`` times, each attempt stamped
+      ``retry_backoff_s`` later; if every attempt fails the VM stays on
+      its source (the failure is atomic, so rollback is a no-op) and the
+      move is reported in ``failed_migrations``;
+    * sleep commands are skipped for servers left non-empty by a failed
+      outbound migration.
+
+    Returns an :class:`ApplyReport` with per-migration records
+    (duration, bytes moved) and everything that was skipped.
     """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    report = ApplyReport()
     for sid in plan.wake:
+        if dc.servers[sid].failed:
+            report.skipped_wake.append(sid)
+            continue
         dc.wake_server(sid)
     for mig in plan.migrations:
+        target = dc.servers[mig.target_id]
+        if target.failed or not target.active:
+            # Target crashed (or its wake was skipped) after planning.
+            report.failed_migrations.append(mig)
+            continue
         if mig.source_id is None:
-            dc.place(mig.vm_id, mig.target_id)
-        elif dc.server_of(mig.vm_id) != mig.target_id:
-            dc.migrate(mig.vm_id, mig.target_id, time_s=time_s)
+            if dc.server_of(mig.vm_id) is None:
+                dc.place(mig.vm_id, mig.target_id)
+                report.placed.append(mig.vm_id)
+            continue
+        if dc.server_of(mig.vm_id) == mig.target_id:
+            continue
+        for attempt in range(1, max_attempts + 1):
+            try:
+                record = dc.migrate(
+                    mig.vm_id,
+                    mig.target_id,
+                    time_s=time_s + (attempt - 1) * retry_backoff_s,
+                )
+            except MigrationFailedError:
+                if attempt == max_attempts:
+                    report.failed_migrations.append(mig)
+                else:
+                    report.retries += 1
+            else:
+                report.records.append(record)
+                break
     for sid in plan.sleep:
+        if dc.vms_on(sid):
+            report.skipped_sleep.append(sid)
+            continue
         dc.sleep_server(sid)
+    return report

@@ -1,0 +1,200 @@
+"""Applying and reverting faults on a live :class:`DataCenter`.
+
+The :class:`FaultInjector` replays a :class:`~repro.faults.schedule.
+FaultSchedule` against the cluster between control periods: harnesses
+call :meth:`FaultInjector.step` once per period boundary, and the
+injector performs every begin/end transition due since the last call —
+crashing and recovering servers (triggering emergency evacuation through
+the ``on_evacuate`` callback), throttling capacity, arming the
+data-center's migration disruptor, and transforming response-time
+measurements for sensor faults via :meth:`filter_measurements`.
+
+All randomness (which migration fails, which sample drops, the noise
+values) comes from one generator seeded with ``schedule.seed``, drawn in
+a deterministic order — so two runs of the same scenario produce
+byte-identical fault behaviour and telemetry.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.cluster.datacenter import DataCenter
+from repro.faults.models import FaultEvent
+from repro.faults.schedule import FaultSchedule, Transition
+from repro.obs import get_telemetry
+
+__all__ = ["FaultInjector"]
+
+logger = logging.getLogger(__name__)
+
+# on_evacuate(failed_server_id, evicted_vm_ids, time_s) — wired to
+# PowerManager.emergency_evacuate by the harnesses.
+EvacuationHook = Callable[[str, List[str], float], object]
+
+
+class FaultInjector:
+    """Replays a fault schedule against a live data center."""
+
+    def __init__(
+        self,
+        dc: DataCenter,
+        schedule: FaultSchedule,
+        on_evacuate: Optional[EvacuationHook] = None,
+    ):
+        self.dc = dc
+        self.schedule = schedule
+        self.timeline = schedule.cursor()
+        self.rng = np.random.default_rng(schedule.seed)
+        self.on_evacuate = on_evacuate
+        self._sensor_faults: List[FaultEvent] = []
+        self._migration_faults: List[FaultEvent] = []
+        self.injected_count = 0
+        self.recovered_count = 0
+
+    # -- replay --------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled transition has been applied."""
+        return self.timeline.exhausted
+
+    def step(self, now_s: float) -> List[Transition]:
+        """Apply every transition due at or before *now_s*.
+
+        Returns the transitions performed (begin and end), in order.
+        Call once per control period, *before* the period's measurements
+        are taken, so a crash at t=300 affects the period starting at
+        t=300.
+        """
+        due = self.timeline.advance(now_s)
+        for tr in due:
+            if tr.phase == "begin":
+                self._begin(tr.event, now_s)
+            else:
+                self._end(tr.event, now_s)
+        return due
+
+    def _begin(self, ev: FaultEvent, now_s: float) -> None:
+        tel = get_telemetry()
+        if ev.kind == "server_crash":
+            evicted = self.dc.fail_server(ev.target)
+            self._emit_injected(ev, now_s, evicted=evicted)
+            logger.warning(
+                "fault t=%.1fs: server %s crashed, %d VMs evicted",
+                now_s, ev.target, len(evicted),
+            )
+            if evicted and self.on_evacuate is not None:
+                self.on_evacuate(ev.target, evicted, now_s)
+        elif ev.kind == "server_recovery":
+            self.dc.recover_server(ev.target)
+            self.recovered_count += 1
+            tel.count("faults.recovered")
+            tel.event(
+                "fault_recovered", time_s=now_s, fault="server_crash",
+                target=ev.target,
+            )
+        elif ev.kind == "thermal_throttle":
+            self.dc.servers[ev.target].throttle(ev.fraction)
+            self._emit_injected(ev, now_s)
+            logger.warning(
+                "fault t=%.1fs: server %s throttled to %.0f%% capacity",
+                now_s, ev.target, 100.0 * ev.fraction,
+            )
+        elif ev.kind == "migration_failure":
+            self._migration_faults.append(ev)
+            self.dc.migration_disruptor = self._disrupt_migration
+            self._emit_injected(ev, now_s)
+        elif ev.kind in ("sensor_dropout", "sensor_noise"):
+            self._sensor_faults.append(ev)
+            self._emit_injected(ev, now_s)
+
+    def _end(self, ev: FaultEvent, now_s: float) -> None:
+        tel = get_telemetry()
+        if ev.kind == "server_crash":
+            self.dc.recover_server(ev.target)
+        elif ev.kind == "thermal_throttle":
+            self.dc.servers[ev.target].unthrottle()
+        elif ev.kind == "migration_failure":
+            self._migration_faults = [f for f in self._migration_faults if f is not ev]
+            if not self._migration_faults:
+                self.dc.migration_disruptor = None
+        elif ev.kind in ("sensor_dropout", "sensor_noise"):
+            self._sensor_faults = [f for f in self._sensor_faults if f is not ev]
+        self.recovered_count += 1
+        tel.count("faults.recovered")
+        tel.event(
+            "fault_recovered", time_s=now_s, fault=ev.kind, target=ev.target,
+        )
+        logger.info("fault t=%.1fs: %s on %s recovered", now_s, ev.kind, ev.target)
+
+    def _emit_injected(self, ev: FaultEvent, now_s: float, **extra) -> None:
+        self.injected_count += 1
+        tel = get_telemetry()
+        tel.count("faults.injected")
+        tel.event(
+            "fault_injected",
+            time_s=now_s,
+            fault=ev.kind,
+            target=ev.target,
+            duration_s=ev.duration_s,
+            **({"fraction": ev.fraction} if ev.kind == "thermal_throttle" else {}),
+            **(
+                {"probability": ev.probability}
+                if ev.kind in ("migration_failure", "sensor_dropout")
+                else {}
+            ),
+            **({"sigma_ms": ev.sigma_ms} if ev.kind == "sensor_noise" else {}),
+            **extra,
+        )
+
+    # -- fault behaviours ----------------------------------------------
+
+    def _disrupt_migration(self, vm_id: str, source_id: str, target_id: str) -> bool:
+        for ev in self._migration_faults:
+            if self.rng.random() < ev.probability:
+                get_telemetry().count("faults.migrations_disrupted")
+                return True
+        return False
+
+    def filter_measurements(
+        self, measurements: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Degrade per-app response-time samples per the active faults.
+
+        Iterates applications in sorted order so the RNG draw sequence —
+        and therefore the whole run — is reproducible.  Returns a new
+        dict; the input is never mutated.
+        """
+        if not self._sensor_faults:
+            return dict(measurements)
+        out: Dict[str, float] = {}
+        for app_id in sorted(measurements):
+            value = float(measurements[app_id])
+            for ev in self._sensor_faults:
+                if ev.target is not None and ev.target != app_id:
+                    continue
+                if ev.kind == "sensor_dropout":
+                    if self.rng.random() < ev.probability:
+                        value = math.nan
+                        get_telemetry().count("faults.samples_dropped")
+                elif ev.kind == "sensor_noise" and math.isfinite(value):
+                    value += float(self.rng.normal(0.0, ev.sigma_ms))
+            out[app_id] = value
+        return out
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def active_sensor_faults(self) -> List[FaultEvent]:
+        """Sensor faults currently in effect (copy)."""
+        return list(self._sensor_faults)
+
+    @property
+    def active_migration_faults(self) -> List[FaultEvent]:
+        """Migration-failure faults currently in effect (copy)."""
+        return list(self._migration_faults)

@@ -264,6 +264,8 @@ class PSResource:
     __slots__ = (
         "sim",
         "_capacity",
+        "_nominal",
+        "_degrade_fraction",
         "_jobs",
         "_next_id",
         "_completion",
@@ -278,6 +280,8 @@ class PSResource:
             raise ValueError(f"capacity must be >= 0, got {capacity_ghz}")
         self.sim = sim
         self._capacity = float(capacity_ghz)
+        self._nominal = float(capacity_ghz)
+        self._degrade_fraction = 1.0
         self._jobs: Dict[int, _PSJob] = {}
         self._next_id = 0
         self._completion: Optional[EventHandle] = None
@@ -288,8 +292,18 @@ class PSResource:
 
     @property
     def capacity_ghz(self) -> float:
-        """Current service capacity in GHz."""
+        """Current *effective* service capacity in GHz (after degradation)."""
         return self._capacity
+
+    @property
+    def nominal_capacity_ghz(self) -> float:
+        """Allocated capacity in GHz, before any degradation."""
+        return self._nominal
+
+    @property
+    def degrade_fraction(self) -> float:
+        """Fraction of the nominal capacity currently delivered."""
+        return self._degrade_fraction
 
     @property
     def queue_length(self) -> int:
@@ -301,8 +315,25 @@ class PSResource:
         if capacity_ghz < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity_ghz}")
         self._advance()
-        self._capacity = float(capacity_ghz)
+        self._nominal = float(capacity_ghz)
+        self._capacity = self._nominal * self._degrade_fraction
         self._reschedule()
+
+    def degrade(self, fraction: float) -> None:
+        """Deliver only *fraction* of the nominal capacity (fault injection:
+        the host crashed or throttled under the VM).  0 stalls the queue
+        entirely; in-flight jobs keep their remaining work and resume when
+        :meth:`restore` (or a later allocation change) lifts the fraction."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self._advance()
+        self._degrade_fraction = float(fraction)
+        self._capacity = self._nominal * self._degrade_fraction
+        self._reschedule()
+
+    def restore(self) -> None:
+        """Lift any degradation: effective capacity returns to nominal."""
+        self.degrade(1.0)
 
     def submit(self, work_ghz_seconds: float) -> SimEvent:
         """Add a job of the given size; returns its completion event."""

@@ -43,6 +43,7 @@ from repro.core.optimizer.types import (
     ServerInfo,
     VMInfo,
 )
+from repro.faults import FaultSchedule
 from repro.obs import get_telemetry
 from repro.traces.forecast import DemandForecaster, EwmaPeakForecaster, HoltForecaster
 from repro.traces.trace import UtilizationTrace
@@ -78,6 +79,17 @@ class LargeScaleConfig:
     placement at t=0 provisioned for each VM's whole-trace peak, then
     never touched (and no DVFS) — what a conservative operator without
     consolidation automation would run.
+
+    ``faults`` attaches a deterministic fault schedule (see
+    :mod:`repro.faults`).  Supported here: server crash/recovery
+    (hosted VMs are evicted and immediately re-packed onto the
+    survivors via Minimum Slack), thermal throttle (the server's
+    effective capacity — and its DVFS levels — shrink by the fraction),
+    and migration failure (planned moves revert to their source with
+    the event's probability).  Sensor faults are no-ops in this
+    trace-driven harness (demands come from the trace, not a sensor).
+    ``None`` (default) leaves the run byte-identical to a fault-free
+    build.
     """
 
     n_vms: int = 100
@@ -96,6 +108,7 @@ class LargeScaleConfig:
     minslack_epsilon_ghz: float = 0.1
     migration_overhead_w: float = 30.0
     migration_bandwidth_mbps: float = 1000.0
+    faults: Optional[FaultSchedule] = None
     seed: int = 7
 
     def __post_init__(self):
@@ -305,6 +318,15 @@ def run_largescale(
     total_energy_wh = 0.0
     dvfs_on = config.dvfs_enabled
 
+    # Fault state (only consulted when a schedule is attached).
+    fault_timeline = config.faults.cursor() if config.faults else None
+    fault_rng = (
+        np.random.default_rng(config.faults.seed) if config.faults else None
+    )
+    srv_frac = np.ones(n_srv)  # thermal-throttle capacity fractions
+    srv_failed = np.zeros(n_srv, dtype=bool)
+    active_migration_faults: List = []
+
     def _build_problem(demand_now: np.ndarray) -> PlacementProblem:
         vm_infos = tuple(
             VMInfo(vm_ids[j], float(demand_now[j]), float(memories[j]))
@@ -316,6 +338,20 @@ def run_largescale(
             if assignment[j] >= 0
         }
         hosting = set(mapping.values())
+        if config.faults is not None:
+            # Crashed servers disappear from the snapshot; throttled
+            # ones shrink (capacity and efficiency scale together).
+            infos = tuple(
+                ServerInfo(
+                    si.server_id, si.max_capacity_ghz * srv_frac[i],
+                    si.memory_mb, si.efficiency * srv_frac[i],
+                    si.server_id in hosting,
+                    si.idle_w, si.busy_w, si.sleep_w,
+                )
+                for i, si in enumerate(server_infos)
+                if not srv_failed[i]
+            )
+            return PlacementProblem(infos, vm_infos, mapping)
         infos = tuple(
             si if (si.server_id in hosting) == si.active
             else ServerInfo(
@@ -327,12 +363,33 @@ def run_largescale(
         )
         return PlacementProblem(infos, vm_infos, mapping)
 
-    def _apply_mapping(final_mapping: Dict[str, str]) -> np.ndarray:
+    def _apply_mapping(
+        final_mapping: Dict[str, str], time_s: float = 0.0
+    ) -> np.ndarray:
         new_assignment = np.full(n_vms, -1, dtype=int)
         for j, vm_id in enumerate(vm_ids):
             sid = final_mapping.get(vm_id)
             if sid is not None:
                 new_assignment[j] = sid_to_idx[sid]
+        if active_migration_faults:
+            moved = np.nonzero(
+                (assignment >= 0)
+                & (new_assignment >= 0)
+                & (assignment != new_assignment)
+            )[0]
+            for j in moved:
+                for ev in active_migration_faults:
+                    if fault_rng.random() < ev.probability:
+                        tel.count("faults.migrations_disrupted")
+                        tel.event(
+                            "migration_failed",
+                            time_s=time_s,
+                            vm=vm_ids[j],
+                            source=idx_to_sid[assignment[j]],
+                            target=idx_to_sid[new_assignment[j]],
+                        )
+                        new_assignment[j] = assignment[j]  # stays on source
+                        break
         return new_assignment
 
     migration_model = LiveMigrationModel(bandwidth_mbps=config.migration_bandwidth_mbps)
@@ -346,6 +403,99 @@ def run_largescale(
             if m.source_id is not None
         )
         return 2.0 * config.migration_overhead_w * total_s / 3600.0
+
+    evac_pac_cfg = PACConfig(
+        minslack=MinSlackConfig(
+            epsilon_ghz=config.minslack_epsilon_ghz,
+            max_steps=config.minslack_max_steps,
+        ),
+        target_utilization=config.target_utilization,
+    )
+
+    def _apply_fault_transitions(step: int, demand_now: np.ndarray) -> None:
+        """Perform every fault begin/end due at this trace step."""
+        nonlocal assignment
+        time_s = step * dt_s
+        for tr in fault_timeline.advance(time_s):
+            ev = tr.event
+            i = sid_to_idx.get(ev.target) if ev.target is not None else None
+            if ev.target is not None and i is None:
+                logger.warning("fault targets unknown server %s; skipped", ev.target)
+                continue
+            if tr.phase == "begin":
+                if ev.kind == "server_crash":
+                    srv_failed[i] = True
+                    evicted_idx = np.nonzero(assignment == i)[0]
+                    assignment[evicted_idx] = -1
+                    evicted = [vm_ids[j] for j in evicted_idx]
+                    tel.count("faults.injected")
+                    tel.event(
+                        "fault_injected", time_s=time_s, fault=ev.kind,
+                        target=ev.target, duration_s=ev.duration_s,
+                        evicted=evicted,
+                    )
+                    logger.warning(
+                        "fault t=%.0fs: server %s crashed, %d VMs evicted",
+                        time_s, ev.target, len(evicted),
+                    )
+                    if evicted:
+                        # Emergency evacuation: Minimum Slack onto the
+                        # survivors, without waiting for the optimizer.
+                        plan = pac(_build_problem(demand_now), evicted, evac_pac_cfg)
+                        assignment = _apply_mapping(plan.final_mapping, time_s)
+                        tel.count("manager.evacuations")
+                        tel.count("manager.evacuated_vms", len(evicted))
+                        tel.event(
+                            "evacuation", time_s=time_s, server=ev.target,
+                            vms=evicted,
+                            placed=[v for v in evicted if v in plan.final_mapping],
+                            unplaced=list(plan.unplaced),
+                            woke=list(plan.wake),
+                        )
+                elif ev.kind == "server_recovery":
+                    srv_failed[i] = False
+                    srv_frac[i] = 1.0
+                    tel.count("faults.recovered")
+                    tel.event(
+                        "fault_recovered", time_s=time_s,
+                        fault="server_crash", target=ev.target,
+                    )
+                elif ev.kind == "thermal_throttle":
+                    srv_frac[i] = ev.fraction
+                    tel.count("faults.injected")
+                    tel.event(
+                        "fault_injected", time_s=time_s, fault=ev.kind,
+                        target=ev.target, duration_s=ev.duration_s,
+                        fraction=ev.fraction,
+                    )
+                elif ev.kind == "migration_failure":
+                    active_migration_faults.append(ev)
+                    tel.count("faults.injected")
+                    tel.event(
+                        "fault_injected", time_s=time_s, fault=ev.kind,
+                        target=ev.target, duration_s=ev.duration_s,
+                        probability=ev.probability,
+                    )
+                else:  # sensor faults: no response-time sensor here
+                    logger.warning(
+                        "fault %s has no effect in the trace-driven harness",
+                        ev.kind,
+                    )
+            else:  # end
+                if ev.kind == "server_crash":
+                    srv_failed[i] = False
+                    srv_frac[i] = 1.0
+                elif ev.kind == "thermal_throttle":
+                    srv_frac[i] = 1.0
+                elif ev.kind == "migration_failure":
+                    active_migration_faults.remove(ev)
+                elif ev.kind in ("sensor_dropout", "sensor_noise"):
+                    continue
+                tel.count("faults.recovered")
+                tel.event(
+                    "fault_recovered", time_s=time_s, fault=ev.kind,
+                    target=ev.target,
+                )
 
     sid_to_vmidx = {vm_ids[j]: j for j in range(n_vms)}
     relief_config = OnDemandConfig(
@@ -362,6 +512,8 @@ def run_largescale(
 
     for step in range(n_steps):
         demand_now = demands[:, step]
+        if fault_timeline is not None:
+            _apply_fault_transitions(step, demand_now)
         if forecaster is not None:
             forecaster.update(demand_now)
 
@@ -382,7 +534,7 @@ def run_largescale(
             plan = _invoke_optimizer(_build_problem(demand_for_packing), step * dt_s)
             migrations += plan.n_moves
             migration_energy_wh += _migration_energy(plan)
-            assignment = _apply_mapping(plan.final_mapping)
+            assignment = _apply_mapping(plan.final_mapping, step * dt_s)
         elif config.ondemand_relief:
             placed_now = assignment >= 0
             loads_now = np.bincount(
@@ -394,7 +546,7 @@ def run_largescale(
                     plan = relieve_overloads(_build_problem(demand_now), relief_config)
                 relief_moves += plan.n_moves
                 migration_energy_wh += _migration_energy(plan)
-                assignment = _apply_mapping(plan.final_mapping)
+                assignment = _apply_mapping(plan.final_mapping, step * dt_s)
                 tel.event(
                     "relief", time_s=step * dt_s, moves=plan.n_moves,
                 )
@@ -409,19 +561,26 @@ def run_largescale(
         )
 
         # DVFS: lowest level covering load / headroom (or pinned at max).
-        cap = srv_max_cap.copy()
+        # Under a thermal throttle every level delivers only srv_frac of
+        # its nominal capacity, so the selection works in nominal terms
+        # (needed / frac) and the chosen capacity is scaled back down.
+        eff_max = srv_max_cap if config.faults is None else srv_max_cap * srv_frac
+        cap = eff_max.copy()
         freq_ratio = np.ones(n_srv)
         if dvfs_on:
             needed = loads / config.arbitrator_headroom
+            if config.faults is not None:
+                needed = needed / np.maximum(srv_frac, 1e-9)
             for idx, caps in group_index:
                 level = np.searchsorted(caps, needed[idx] - 1e-9, side="left")
                 level = np.minimum(level, len(caps) - 1)
                 cap[idx] = caps[level]
-            freq_ratio = cap / (srv_fmax * (srv_max_cap / srv_fmax))
-            # cap = freq * cores; ratio = cap / max_cap.
-            freq_ratio = cap / srv_max_cap
+            if config.faults is not None:
+                cap = cap * srv_frac
+            # cap = freq * cores; ratio = nominal cap / nominal max cap.
+            freq_ratio = cap / eff_max
 
-        overload = loads > srv_max_cap + 1e-9
+        overload = loads > eff_max + 1e-9
         overload_server_steps += int(np.count_nonzero(overload & hosting_mask))
         util = np.minimum(loads / np.maximum(cap, 1e-12), 1.0)
         scale = freq_ratio**srv_exp

@@ -38,6 +38,7 @@ from repro.core.controller.response_time_controller import (
     ResponseTimeController,
 )
 from repro.core.manager import PowerManager, PowerManagerConfig
+from repro.faults import FaultInjector, FaultSchedule
 from repro.obs import get_telemetry
 from repro.sim.metrics import SeriesRecorder
 from repro.sysid.experiment import run_identification_experiment
@@ -67,6 +68,14 @@ class TestbedConfig:
     integrated two-level solution: VMs consolidate onto fewer servers,
     the rest sleep, and the response-time controllers keep tracking
     throughout.
+
+    ``faults`` attaches a deterministic fault schedule (see
+    :mod:`repro.faults`): servers crash and recover mid-run, capacity
+    throttles, migrations fail, response-time sensors drop out.  When
+    set, controllers use the ``"hold"`` missing-measurement policy and
+    a VM re-placed after a crash serves nothing for
+    ``fault_downtime_s`` (restart time).  ``None`` (default) leaves the
+    run byte-identical to a fault-free build.
     """
 
     __test__ = False
@@ -89,6 +98,8 @@ class TestbedConfig:
     workloads: Dict[int, ConcurrencySchedule] = field(default_factory=dict)
     setpoints_ms: Dict[int, float] = field(default_factory=dict)
     optimize_at_s: tuple = ()
+    faults: Optional[FaultSchedule] = None
+    fault_downtime_s: float = 30.0
     seed: int = 2010
 
     def __post_init__(self):
@@ -107,6 +118,7 @@ class TestbedConfig:
             raise ValueError(
                 f"demand_scale_range must satisfy 0 < lo <= hi, got {self.demand_scale_range}"
             )
+        check_positive("fault_downtime_s", self.fault_downtime_s)
 
 
 @dataclass
@@ -236,6 +248,9 @@ class TestbedExperiment:
                     ControllerConfig(
                         setpoint_ms=setpoint,
                         period_s=cfg.control_period_s,
+                        # Under fault injection a NaN sample means the
+                        # sensor dropped out, not starvation: hold.
+                        missing_policy="hold" if cfg.faults else "pessimistic",
                     ),
                     c_min=[cfg.min_alloc_ghz] * 2,
                     c_max=[cfg.max_alloc_ghz] * 2,
@@ -245,6 +260,37 @@ class TestbedExperiment:
         return dc, manager, plants
 
     # -- execution ------------------------------------------------------
+
+    def _sync_plant_faults(
+        self,
+        dc: DataCenter,
+        plants: List[MultiTierApp],
+        evacuated_vms: set,
+    ) -> None:
+        """Propagate cluster fault state into the request-level plants.
+
+        Called right after the injector's transitions for a period: a
+        tier whose VM is homeless serves nothing; a VM just re-placed by
+        an emergency evacuation restarts (zero capacity for
+        ``fault_downtime_s``, scheduled inside the plant's own DES); a
+        tier on a throttled host runs at the host's capacity fraction.
+        """
+        cfg = self.config
+        for i, plant in enumerate(plants):
+            app = dc.applications[f"app{i}"]
+            for j, vm_id in enumerate(app.vm_ids):
+                sid = dc.server_of(vm_id)
+                if sid is None:
+                    plant.degrade_tier(j, 0.0)
+                    continue
+                frac = dc.servers[sid].capacity_fraction
+                if vm_id in evacuated_vms:
+                    evacuated_vms.discard(vm_id)
+                    plant.degrade_tier(j, 0.0)
+                    downtime = min(cfg.fault_downtime_s, cfg.control_period_s)
+                    plant.sim.schedule(downtime, plant.degrade_tier, j, frac)
+                elif plant.tier_degrade_fraction(j) != frac:
+                    plant.degrade_tier(j, frac)
 
     def run(self, rng: RngLike = None) -> TestbedResult:
         """Run the experiment and return the recorded series."""
@@ -277,11 +323,25 @@ class TestbedExperiment:
         for plant in plants:
             plant.warmup(cfg.warmup_s)
 
+        injector: Optional[FaultInjector] = None
+        evacuated_vms: set = set()
+        if cfg.faults:
+            def _on_evacuate(server_id: str, vm_ids: List[str], t: float) -> None:
+                evacuated_vms.update(vm_ids)
+                manager.emergency_evacuate(server_id, vm_ids, time_s=t)
+
+            injector = FaultInjector(dc, cfg.faults, on_evacuate=_on_evacuate)
+
         optimize_times = sorted(float(t) for t in cfg.optimize_at_s)
         n_periods = int(round(cfg.duration_s / cfg.control_period_s))
         for k in range(n_periods):
             now = k * cfg.control_period_s
-            # 0. Long-time-scale optimizer invocations (integrated mode).
+            # 0a. Fault transitions due this period (crashes trigger the
+            # manager's emergency evacuation inside the step).
+            if injector is not None:
+                injector.step(now)
+                self._sync_plant_faults(dc, plants, evacuated_vms)
+            # 0b. Long-time-scale optimizer invocations (integrated mode).
             while optimize_times and optimize_times[0] <= now:
                 optimize_times.pop(0)
                 plan = manager.optimize(time_s=now)
@@ -308,7 +368,8 @@ class TestbedExperiment:
                 app = dc.applications[f"app{i}"]
                 for j, vm_id in enumerate(app.vm_ids):
                     sid = dc.server_of(vm_id)
-                    used_by_server[sid] += float(used[j])
+                    if sid is not None:  # evicted-and-unplaced VMs burn nothing
+                        used_by_server[sid] += float(used[j])
             # 3. Power with the frequencies in effect during this period.
             total_power = sum(
                 server.power_w(used_by_server[sid])
@@ -324,6 +385,8 @@ class TestbedExperiment:
                 active_servers=len(dc.active_servers()),
             )
             # 4. Controllers + arbitrators set next period's allocations.
+            if injector is not None:
+                measurements = injector.filter_measurements(measurements)
             if cfg.controlled:
                 step = manager.control_step(measurements, used_ghz=usages, time_s=now)
                 for i in range(cfg.n_apps):

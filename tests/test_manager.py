@@ -87,6 +87,47 @@ class TestControlStep:
         with pytest.raises(KeyError):
             mgr.control_step({"a": 1000.0})
 
+    def test_partial_measurements_leave_state_untouched(self):
+        dc = _dc_with_app()
+        mgr = PowerManager(dc)
+        mgr.register_controller("a", _controller())
+        with pytest.raises(KeyError):
+            # "a" is registered but "ghost" is not: the step must refuse
+            # up front rather than update "a" and then blow up.
+            mgr.control_step({"a": 2000.0, "ghost": 500.0})
+        assert dc.vms["a-web"].demand_ghz == 1.0
+        assert dc.vms["a-db"].demand_ghz == 1.0
+
+    def test_overloaded_server_rations_proportionally(self):
+        # Both tiers of the app on one 4.8 GHz host, each demanding up
+        # to 3 GHz: with a high response time the controller pushes the
+        # total demand past capacity and the arbitrator must ration.
+        dc = DataCenter()
+        dc.add_server(Server("T0", TESTBED_SERVER))
+        dc.add_vm(VM("a-web", app_id="a", tier_index=0, memory_mb=1024, demand_ghz=1.0))
+        dc.add_vm(VM("a-db", app_id="a", tier_index=1, memory_mb=1024, demand_ghz=1.0))
+        dc.place("a-web", "T0")
+        dc.place("a-db", "T0")
+        dc.add_application(Application("a", ["a-web", "a-db"]))
+        mgr = PowerManager(dc)
+        ctrl = ResponseTimeController(
+            ARXModel(a=[0.4], b=[[-800.0, -300.0], [-100.0, -50.0]], g=1800.0),
+            ControllerConfig(util_band=None),
+            c_min=[3.0, 3.0], c_max=[3.0, 3.0], initial_alloc_ghz=[3.0, 3.0],
+        )
+        mgr.register_controller("a", ctrl)
+        result = mgr.control_step({"a": 5000.0})
+        assert "T0" in result.overloaded_servers
+        granted = result.granted_ghz["a"]
+        cap = dc.servers["T0"].max_capacity_ghz
+        # Rationed grants fill the server exactly and stay below demand.
+        assert np.sum(granted) == pytest.approx(cap)
+        assert np.all(granted < 3.0)
+        # Equal demands are scaled equally.
+        assert granted[0] == pytest.approx(granted[1])
+        # The host runs flat out while oversubscribed.
+        assert dc.servers["T0"].freq_ghz == max(TESTBED_SERVER.cpu.freq_levels_ghz)
+
     def test_register_checks_tier_count(self):
         dc = _dc_with_app()
         mgr = PowerManager(dc)

@@ -1,0 +1,20 @@
+"""Hot-path perf suite — standalone entry point.
+
+Thin wrapper over :mod:`repro.bench.perf_suite` (same code path as the
+``repro-bench`` console script)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py --scale smoke
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py \
+        --output BENCH_perf.json --check-against BENCH_perf.json
+
+Unlike the ``bench_fig*`` files in this directory this is not a
+pytest-benchmark module: it times fast-lane vs reference paths and
+writes the machine-readable report CI tracks (``BENCH_perf.json``).
+"""
+
+import sys
+
+from repro.cli import main_bench
+
+if __name__ == "__main__":
+    sys.exit(main_bench())

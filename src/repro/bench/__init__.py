@@ -1,0 +1,18 @@
+"""Performance benchmark harness for the hot paths.
+
+``repro.bench.perf_suite`` times the three optimized loops — the MPC QP
+solve, the Minimum Slack packing search, and the trace-driven
+large-scale harness — each against its unoptimized reference path, and
+writes a machine-readable report (``BENCH_perf.json`` at the repo root
+is the committed baseline).  Run it with ``repro-bench`` or
+``python benchmarks/bench_perf_suite.py``.
+"""
+
+from repro.bench.perf_suite import (
+    CaseResult,
+    compare_to_baseline,
+    run_suite,
+    write_report,
+)
+
+__all__ = ["CaseResult", "run_suite", "write_report", "compare_to_baseline"]

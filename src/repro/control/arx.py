@@ -165,7 +165,30 @@ class ARXModel:
         future inputs follow ``c(k+i) = c(k) + sum_{j<i} dc(k+j)`` with
         changes beyond the control horizon fixed at zero (the paper's
         input-trajectory parameterization, §IV-B).
+
+        The two halves are independently reusable: ``psi`` depends only
+        on the model parameters and the horizons (cache it across
+        solves — see :meth:`lifted_input_matrix`), while ``phi`` depends
+        on the histories and is recomputed each period
+        (:meth:`predict_const`).  Both helpers perform the exact same
+        floating-point operations as the original fused recursion, so
+        splitting (or caching ``psi``) is bit-identical.
         """
+        return (
+            self.predict_const(t_hist, c_hist, horizon, control_horizon),
+            self.lifted_input_matrix(horizon, control_horizon),
+        )
+
+    def predict_const(
+        self,
+        t_hist: Sequence[float],
+        c_hist: np.ndarray,
+        horizon: int,
+        control_horizon: int,
+    ) -> np.ndarray:
+        """The constant (history-driven) part ``phi`` of
+        :meth:`predict_affine` — the predicted outputs under zero future
+        input change."""
         P = int(horizon)
         M = int(control_horizon)
         if P < 1:
@@ -181,11 +204,43 @@ class ARXModel:
             raise ValueError(
                 f"need {max(self.nb - 1, 1)} past inputs of dim {m}, got {c_hist.shape}"
             )
-        nu = M * m
         c_now = c_hist[0]
-
-        # Symbolic outputs: t(k+i) = t_const[i-1] + t_lin[i-1] @ u.
         t_const = np.empty(P)
+        for i in range(1, P + 1):
+            const = self.g
+            for p in range(1, self.na + 1):
+                tau = i - p  # output index relative to k
+                if tau >= 1:
+                    const += self.a[p - 1] * t_const[tau - 1]
+                else:
+                    const += self.a[p - 1] * t_hist[-tau]  # t(k+tau), tau <= 0
+            for q in range(1, self.nb + 1):
+                j = i - q + 1  # input index relative to k (b_q acts on c(k+i-q+1))
+                if j >= 1:
+                    const += float(self.b[q - 1] @ c_now)
+                else:
+                    const += float(self.b[q - 1] @ c_hist[-j])  # c(k+j), j <= 0
+            t_const[i - 1] = const
+        return t_const
+
+    def lifted_input_matrix(self, horizon: int, control_horizon: int) -> np.ndarray:
+        """The linear (input-driven) part ``psi`` of
+        :meth:`predict_affine`.
+
+        Depends only on the model parameters and the horizons — for a
+        fixed model this is a constant matrix, so callers solving the
+        MPC every period should compute it once per model update (the
+        per-solve cost of the fused recursion is dominated by exactly
+        this matrix).
+        """
+        P = int(horizon)
+        M = int(control_horizon)
+        if P < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if not 1 <= M <= P:
+            raise ValueError(f"control_horizon must be in [1, {P}], got {M}")
+        m = self.n_inputs
+        nu = M * m
         t_lin = np.zeros((P, nu))
 
         # Future input c(k+j), j >= 1: c_now plus the first min(j, M)
@@ -197,25 +252,17 @@ class ARXModel:
             return sel
 
         for i in range(1, P + 1):
-            const = self.g
             lin = np.zeros(nu)
             for p in range(1, self.na + 1):
                 tau = i - p  # output index relative to k
                 if tau >= 1:
-                    const += self.a[p - 1] * t_const[tau - 1]
                     lin += self.a[p - 1] * t_lin[tau - 1]
-                else:
-                    const += self.a[p - 1] * t_hist[-tau]  # t(k+tau), tau <= 0
             for q in range(1, self.nb + 1):
                 j = i - q + 1  # input index relative to k (b_q acts on c(k+i-q+1))
                 if j >= 1:
-                    const += float(self.b[q - 1] @ c_now)
                     lin += self.b[q - 1] @ input_lin(j)
-                else:
-                    const += float(self.b[q - 1] @ c_hist[-j])  # c(k+j), j <= 0
-            t_const[i - 1] = const
             t_lin[i - 1] = lin
-        return t_const, t_lin
+        return t_lin
 
     def dc_gain(self) -> np.ndarray:
         """Steady-state gain from each input to the output.

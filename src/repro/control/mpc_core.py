@@ -15,7 +15,7 @@ the solution is flagged accordingly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +59,12 @@ class MPCConfig:
         once tracking allows, feeding the DVFS savings.  The terminal
         constraint keeps the response time pinned at the set point while
         that happens.  0 reproduces the paper's cost exactly.
+    warm_start:
+        Seed each QP's initial working set from the previous period's
+        optimal active set (receding-horizon warm start).  The optimum
+        is unchanged — only the iteration count drops — but the solver
+        may settle on a different (equivalent) working set in degenerate
+        cases, so disable for bit-exact reproduction of cold solves.
     """
 
     prediction_horizon: int = 8
@@ -69,6 +75,7 @@ class MPCConfig:
     terminal_soft_weight: float = 1e4
     delta_max: Optional[float] = None
     power_weight: float = 0.0
+    warm_start: bool = True
 
     def __post_init__(self):
         if self.prediction_horizon < 1:
@@ -111,7 +118,18 @@ class MPCSolution:
 
 
 class MPCController:
-    """Reusable MPC solver bound to an ARX model and a config."""
+    """Reusable MPC solver bound to an ARX model and a config.
+
+    Fast lane: the horizon-lifted prediction matrix ``psi``, the QP
+    Hessian, and the (static) inequality-constraint matrix are cached
+    keyed on the ARX parameter vector — they only change when an RLS
+    update swaps the model — and each QP is warm-started from the
+    previous period's optimal active set (``config.warm_start``).  The
+    cached quantities are deterministic functions of the model
+    parameters, computed with the same operations as the uncached
+    reference (:meth:`ARXModel.predict_affine`), so caching alone is
+    bit-identical; only warm-starting can perturb the solve path.
+    """
 
     def __init__(self, model: ARXModel, config: MPCConfig | None = None):
         self.model = model
@@ -125,6 +143,93 @@ class MPCController:
                 f"r_weight must be scalar or length-{m}, got shape {r.shape}"
             )
         self._r_vec = r
+        cfg = self.config
+        M = cfg.control_horizon
+        if cfg.power_weight > 0.0:
+            # sum_{i=1..M} c(k+i) = const + sum_l (M - l) * dc_l, so the
+            # linear coefficient on block l is power_weight * (M - l).
+            block_coeff = cfg.power_weight * (M - np.arange(M, dtype=float))
+            self._g_power: Optional[np.ndarray] = np.repeat(block_coeff, m)
+        else:
+            self._g_power = None
+        # Model-keyed matrix cache + per-QP-form warm-start working sets.
+        self._cache_key: Optional[tuple] = None
+        self._cache: dict = {}
+        self._warm_active: dict = {}
+        self.solves = 0
+        self.warm_hits = 0
+
+    # -- cached matrices ------------------------------------------------
+
+    def _model_cache(self):
+        """Matrices that only change when the ARX parameters change."""
+        model = self.model
+        cfg = self.config
+        P, M, m = cfg.prediction_horizon, cfg.control_horizon, model.n_inputs
+        key = (model.a.tobytes(), model.b.tobytes(), model.g, P, M)
+        if key != self._cache_key:
+            nu = M * m
+            psi = model.lifted_input_matrix(P, M)
+            q = cfg.q_weight
+            H = 2.0 * (q * psi.T @ psi)
+            H[np.diag_indices(nu)] += 2.0 * np.tile(self._r_vec, M)
+            # Drop warm state only on a mid-life model swap: on first use
+            # (key was None) any adopted warm state must survive.
+            if self._cache_key is not None:
+                self._warm_active = {}
+            self._cache_key = key
+            self._cache = {"psi": psi, "H": H, "terminal_row": psi[M - 1 : M]}
+        return self._cache
+
+    def _soft_hessian(self, cache: dict) -> np.ndarray:
+        """Hessian with the softened terminal penalty folded in."""
+        H_soft = cache.get("H_soft")
+        if H_soft is None:
+            w = self.config.terminal_soft_weight
+            terminal_row = cache["terminal_row"]
+            H_soft = cache["H"] + 2.0 * w * terminal_row.T @ terminal_row
+            cache["H_soft"] = H_soft
+        return H_soft
+
+    def _constraints(self, cache: dict, has_cap: bool) -> tuple:
+        """Static inequality matrix for this model/config/cap shape.
+
+        Returns ``(A_ub, n_delta_rows)``; the right-hand side is filled
+        per solve (it depends on the current input and bounds).
+        """
+        key = ("A_ub", has_cap)
+        entry = cache.get(key)
+        if entry is None:
+            cfg = self.config
+            M, m = cfg.control_horizon, self.model.n_inputs
+            nu = M * m
+            rows = []
+            cumulative = np.zeros((m, nu))
+            for i in range(M):
+                cumulative[:, i * m : (i + 1) * m] = np.eye(m)
+                sel = cumulative.copy()
+                rows.append(sel)
+                rows.append(-sel)
+                if has_cap:
+                    rows.append(np.sum(sel, axis=0, keepdims=True))
+            n_delta = 0
+            if cfg.delta_max is not None:
+                eye = np.eye(nu)
+                rows.append(eye)
+                rows.append(-eye)
+                n_delta = 2 * nu
+            entry = (np.vstack(rows), n_delta)
+            cache[key] = entry
+        return entry
+
+    def adopt_warm_state(self, other: "MPCController") -> None:
+        """Carry another controller's warm-start working sets over.
+
+        Used when a supervisor (e.g. the adaptive controller) rebuilds
+        the MPC around a newly identified model: the constraint geometry
+        is unchanged, so the previous active set remains a good seed.
+        """
+        self._warm_active = dict(other._warm_active)
 
     def solve(
         self,
@@ -156,8 +261,11 @@ class MPCController:
             sp.annotate(
                 softened=solution.terminal_softened,
                 qp_status=solution.qp.status,
+                warm=solution.qp.warm_started,
             )
         tel.count("mpc.solves")
+        if solution.qp.warm_started:
+            tel.count("mpc.warm_hits")
         if solution.terminal_softened:
             tel.count("mpc.terminal_softened")
         return solution
@@ -209,63 +317,73 @@ class MPCController:
             raise ValueError(f"c_min must be <= c_max, got {c_min} > {c_max}")
         c_now = np.atleast_2d(np.asarray(c_hist, dtype=float))[0]
 
-        phi, psi = model.predict_affine(t_hist, c_hist, P, M)
+        cache = self._model_cache()
+        psi = cache["psi"]
+        phi = model.predict_const(t_hist, c_hist, P, M)
         phi = phi + float(output_bias)
 
-        # Quadratic cost: tracking + control penalty.
+        # Quadratic cost: tracking + control penalty (Hessian cached —
+        # it depends only on the model and the weights).
         q = cfg.q_weight
-        H = 2.0 * (q * psi.T @ psi)
-        H[np.diag_indices(nu)] += 2.0 * np.tile(self._r_vec, M)
+        H = cache["H"]
         g = 2.0 * q * psi.T @ (phi - ref)
-        if cfg.power_weight > 0.0:
-            # sum_{i=1..M} c(k+i) = const + sum_l (M - l) * dc_l, so the
-            # linear coefficient on block l is power_weight * (M - l).
-            block_coeff = cfg.power_weight * (M - np.arange(M, dtype=float))
-            g = g + np.repeat(block_coeff, m)
+        if self._g_power is not None:
+            g = g + self._g_power
 
         # Bounds on absolute inputs at k+1..k+M:
         #   c_min <= c_now + cumsum(dc) <= c_max.
-        rows = []
+        # The constraint matrix is static per model/cap-shape; only the
+        # right-hand side changes each period.
+        has_cap = total_cap_ghz is not None
+        A_ub, _ = self._constraints(cache, has_cap)
+        upper = c_max - c_now
+        lower = c_now - c_min
         rhs = []
-        cumulative = np.zeros((m, nu))
         for i in range(M):
-            cumulative[:, i * m : (i + 1) * m] = np.eye(m)
-            sel = cumulative.copy()
-            rows.append(sel)
-            rhs.append(c_max - c_now)
-            rows.append(-sel)
-            rhs.append(c_now - c_min)
-            if total_cap_ghz is not None:
-                rows.append(np.sum(sel, axis=0, keepdims=True))
+            rhs.append(upper)
+            rhs.append(lower)
+            if has_cap:
                 rhs.append(np.asarray([total_cap_ghz - float(c_now.sum())]))
         if cfg.delta_max is not None:
-            eye = np.eye(nu)
-            rows.append(eye)
             rhs.append(np.full(nu, cfg.delta_max))
-            rows.append(-eye)
             rhs.append(np.full(nu, cfg.delta_max))
-        A_ub = np.vstack(rows)
         b_ub = np.concatenate(rhs)
 
         # Terminal constraint (paper Eq. 4): t(k+M|k) = Ts.
-        terminal_row = psi[M - 1 : M]
+        terminal_row = cache["terminal_row"]
         terminal_rhs = np.asarray([float(setpoint) - phi[M - 1]])
 
+        warm_on = cfg.warm_start
+        self.solves += 1
         softened = False
         if cfg.terminal_constraint:
-            result = solve_qp(H, g, A_eq=terminal_row, b_eq=terminal_rhs, A_ub=A_ub, b_ub=b_ub)
+            result = solve_qp(
+                H, g, A_eq=terminal_row, b_eq=terminal_rhs, A_ub=A_ub, b_ub=b_ub,
+                warm_start=self._warm_active.get(("hard", has_cap)) if warm_on else None,
+            )
+            if result.warm_started:
+                self.warm_hits += 1
             if not result.ok:
                 softened = True
             else:
+                if warm_on and result.status == "optimal":
+                    self._warm_active[("hard", has_cap)] = result.active_set
                 return self._package(result, phi, psi, c_now, softened=False)
         # Soft terminal (or no terminal): add W * (t(k+M|k) - Ts)^2.
         if cfg.terminal_constraint and softened:
             w = cfg.terminal_soft_weight
-            H2 = H + 2.0 * w * terminal_row.T @ terminal_row
+            H2 = self._soft_hessian(cache)
             g2 = g + 2.0 * w * terminal_row[0] * (phi[M - 1] - float(setpoint))
         else:
             H2, g2 = H, g
-        result = solve_qp(H2, g2, A_ub=A_ub, b_ub=b_ub)
+        result = solve_qp(
+            H2, g2, A_ub=A_ub, b_ub=b_ub,
+            warm_start=self._warm_active.get(("soft", has_cap)) if warm_on else None,
+        )
+        if result.warm_started:
+            self.warm_hits += 1
+        if warm_on and result.status == "optimal":
+            self._warm_active[("soft", has_cap)] = result.active_set
         if not result.ok:
             # Bounds themselves inconsistent (shouldn't happen: dc=0 is
             # feasible whenever c_now is within bounds). Hold the input.

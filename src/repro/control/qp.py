@@ -20,12 +20,20 @@ falls back to it automatically if the active-set loop fails to settle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize
 
 __all__ = ["QPResult", "solve_qp"]
+
+#: Iterations a warm-started attempt may spend before the seed is
+#: declared unhelpful and the working set restarts from empty.  A good
+#: seed terminates in a handful of iterations; a bad one can cycle for
+#: the whole budget, so without this cap a warm solve could cost *more*
+#: than a cold one (bad seed burns max_iter, then the cold retry pays
+#: full price again).
+_WARM_ITER_BUDGET = 30
 
 
 @dataclass(frozen=True)
@@ -34,12 +42,16 @@ class QPResult:
 
     ``status`` is ``"optimal"``, ``"fallback"`` (SciPy finished the job),
     or ``"infeasible"``.  ``x`` is ``None`` only when infeasible.
+    ``active_set`` is the final working set of inequality indices — feed
+    it back as ``warm_start`` on the next structurally-identical solve;
+    ``warm_started`` reports whether this solve was seeded that way.
     """
 
     x: Optional[np.ndarray]
     status: str
     iterations: int
     active_set: Tuple[int, ...]
+    warm_started: bool = False
 
     @property
     def ok(self) -> bool:
@@ -85,6 +97,7 @@ def _scipy_fallback(
     b_ub: Optional[np.ndarray],
     x0: Optional[np.ndarray],
     iterations: int,
+    warm_started: bool = False,
 ) -> QPResult:
     """Solve with SciPy SLSQP; used when the active-set loop stalls."""
     n = H.shape[0]
@@ -108,8 +121,10 @@ def _scipy_fallback(
         options={"maxiter": 500, "ftol": 1e-12},
     )
     if not res.success:
-        return QPResult(None, "infeasible", iterations, ())
-    return QPResult(np.asarray(res.x, dtype=float), "fallback", iterations, ())
+        return QPResult(None, "infeasible", iterations, (), warm_started)
+    return QPResult(
+        np.asarray(res.x, dtype=float), "fallback", iterations, (), warm_started
+    )
 
 
 def solve_qp(
@@ -121,12 +136,22 @@ def solve_qp(
     b_ub: Optional[np.ndarray] = None,
     max_iter: int = 200,
     tol: float = 1e-8,
+    warm_start: Optional[Sequence[int]] = None,
 ) -> QPResult:
     """Solve a dense convex QP (see module docstring for the form).
 
     Parameters are NumPy arrays; ``A_eq``/``A_ub`` may be ``None`` or
     empty.  Returns a :class:`QPResult`; check ``result.ok`` before using
     ``result.x``.
+
+    ``warm_start`` seeds the initial working set with inequality indices
+    from a previous solve of a structurally similar problem (typically
+    ``QPResult.active_set`` of the last control period).  When the
+    optimal active set barely changes between periods — the common case
+    for receding-horizon MPC — the solver terminates in one or two
+    iterations instead of rebuilding the working set from empty.  Out of
+    range indices are ignored; the result is the same optimum either
+    way, only reached faster.
     """
     H = np.asarray(H, dtype=float)
     g = np.asarray(g, dtype=float)
@@ -145,12 +170,45 @@ def solve_qp(
         raise ValueError(f"A_ub shape {A_ub.shape} inconsistent with n={n}, b_ub={b_ub.shape}")
 
     n_eq = A_eq.shape[0]
+    n_ub = A_ub.shape[0]
     active: List[int] = []
+    warm = False
+    if warm_start is not None:
+        seen = set()
+        for idx in warm_start:
+            idx = int(idx)
+            if 0 <= idx < n_ub and idx not in seen:
+                seen.add(idx)
+                active.append(idx)
+        warm = bool(active)
     x = None
+    seed_unverified = warm
     for iteration in range(1, max_iter + 1):
+        if warm and iteration > _WARM_ITER_BUDGET:
+            # The seed did not lead to quick convergence — from here on
+            # this is a plain cold solve from the empty working set.
+            warm = False
+            seed_unverified = False
+            active = []
         C = np.vstack([A_eq, A_ub[active]]) if (n_eq or active) else np.zeros((0, n))
         d = np.concatenate([b_eq, b_ub[active]]) if (n_eq or active) else np.zeros(0)
         x, nu = _solve_kkt(H, g, C, d)
+
+        # A stale warm-start seed can be inconsistent under the current
+        # rhs (the KKT solve then degrades to least squares, leaving
+        # working-set rows unsatisfied while the feasibility mask below
+        # would treat them as enforced).  Verify the seed once, on the
+        # first iterate; if any seeded row is not actually met, discard
+        # the whole seed and restart cold — never cheaper to repair a
+        # bad guess row by row.
+        if seed_unverified:
+            seed_unverified = False
+            bad_eq = n_eq and np.max(np.abs(A_eq @ x - b_eq)) > 1e-6
+            bad_ub = active and np.max(np.abs(A_ub[active] @ x - b_ub[active])) > 1e-6
+            if bad_eq or bad_ub:
+                warm = False  # seed discarded: this is a cold solve now
+                active = []
+                continue
 
         # Drop an active inequality whose multiplier went negative.
         if active:
@@ -171,8 +229,22 @@ def solve_qp(
 
         # Verify equality feasibility (catches inconsistent A_eq).
         if n_eq and np.max(np.abs(A_eq @ x - b_eq)) > 1e-6:
-            return _scipy_fallback(H, g, A_eq, b_eq, A_ub, b_ub, x, iteration)
+            if warm:
+                break  # retry cold below rather than trusting this iterate
+            return _scipy_fallback(H, g, A_eq, b_eq, A_ub, b_ub, x, iteration, warm)
 
-        return QPResult(x, "optimal", iteration, tuple(sorted(active)))
+        # Warm seeds can steer the iteration through a degenerate working
+        # set whose KKT system is only solvable in least squares — the
+        # masked active rows are then *not* actually enforced.  Verify
+        # them before declaring victory; a violation means the warm path
+        # went astray, so retry cold (which never takes that path).
+        if warm and active and np.max(np.abs(A_ub[active] @ x - b_ub[active])) > 1e-6:
+            break
 
-    return _scipy_fallback(H, g, A_eq, b_eq, A_ub, b_ub, x, max_iter)
+        return QPResult(x, "optimal", iteration, tuple(sorted(active)), warm)
+
+    if warm:
+        # A warm-started solve that stalls (degenerate cycling around a
+        # bad seed) must never end worse than a cold one: rerun cold.
+        return solve_qp(H, g, A_eq, b_eq, A_ub, b_ub, max_iter, tol, None)
+    return _scipy_fallback(H, g, A_eq, b_eq, A_ub, b_ub, x, max_iter, warm)

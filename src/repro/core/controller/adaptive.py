@@ -153,7 +153,11 @@ class AdaptiveResponseTimeController(ResponseTimeController):
         active = candidate if use_candidate else self.base_model
         if (active is not self.model) or (use_candidate != self.using_candidate):
             self.model = active
+            previous = self._mpc
             self._mpc = MPCController(active, cfg.mpc)
+            # Constraint geometry is unchanged across a model swap, so
+            # the previous period's active set remains a useful seed.
+            self._mpc.adopt_warm_state(previous)
         self.using_candidate = use_candidate
         if use_candidate:
             self.candidate_periods += 1

@@ -98,18 +98,34 @@ def _run_pac(
     vm_ids: List[str],
     config: PACConfig,
     exclude_server: Optional[str] = None,
+    previous_mapping: Optional[Dict[str, str]] = None,
 ) -> Tuple[Dict[str, str], List[str]]:
     """Place *vm_ids* via PAC against *mapping*; return (mapping, unplaced).
 
     ``exclude_server`` removes one (empty) server from consideration —
     used when draining, so that a victim tied in efficiency with its
     peers cannot simply receive its own VMs back.
+
+    The sub-problem is a restriction of a snapshot that was already
+    validated, so it is built with :meth:`PlacementProblem.trusted`,
+    inheriting the parent's lookup indices and efficiency order instead
+    of re-deriving them every drain round.
     """
     servers = problem.servers
+    servers_sorted = problem.servers_by_efficiency()
     if exclude_server is not None:
         servers = tuple(s for s in servers if s.server_id != exclude_server)
-    sub = PlacementProblem(servers, problem.vms, mapping)
-    plan = pac(sub, vm_ids, config)
+        servers_sorted = tuple(
+            s for s in servers_sorted if s.server_id != exclude_server
+        )
+    sub = PlacementProblem.trusted(
+        servers,
+        problem.vms,
+        mapping,
+        vm_index=problem.vm_index(),
+        servers_sorted=servers_sorted,
+    )
+    plan = pac(sub, vm_ids, config, previous_mapping=previous_mapping)
     return plan.final_mapping, plan.unplaced
 
 
@@ -141,8 +157,8 @@ def ipac(problem: PlacementProblem, config: IPACConfig | None = None) -> Placeme
 def _ipac(problem: PlacementProblem, config: IPACConfig) -> PlacementPlan:
     """The three IPAC phases, factored out of the traced entry point."""
     tel = get_telemetry()
-    vm_by_id: Dict[str, VMInfo] = {v.vm_id: v for v in problem.vms}
-    server_by_id: Dict[str, ServerInfo] = {s.server_id: s for s in problem.servers}
+    vm_by_id: Dict[str, VMInfo] = problem.vm_index()
+    server_by_id: Dict[str, ServerInfo] = problem.server_index()
     mapping: Dict[str, str] = dict(problem.mapping)
     unplaced: List[str] = []
 
@@ -174,7 +190,10 @@ def _ipac(problem: PlacementProblem, config: IPACConfig) -> PlacementPlan:
                 evictions.append(vm_id)
                 mandatory_ids.add(vm_id)
         if evictions:
-            mapping, failed = _run_pac(problem, mapping, evictions, config.pac)
+            mapping, failed = _run_pac(
+                problem, mapping, evictions, config.pac,
+                previous_mapping=problem.mapping,
+            )
             unplaced.extend(failed)
 
     # ---- Phase B: incremental drain loop ------------------------------
@@ -206,6 +225,7 @@ def _ipac(problem: PlacementProblem, config: IPACConfig) -> PlacementPlan:
             trial, failed = _run_pac(
                 problem, trial, drain_ids, config.pac,
                 exclude_server=victim.server_id,
+                previous_mapping=problem.mapping,
             )
             if failed:
                 continue  # could not rehome everything; keep current mapping

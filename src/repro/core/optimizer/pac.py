@@ -35,10 +35,18 @@ class PACConfig:
     ``target_utilization`` caps how full PAC packs each server (fraction
     of its maximum CPU capacity) so that normal demand jitter does not
     instantly overload a freshly packed host.
+
+    ``incremental`` seeds each server's Minimum Slack search with the
+    VMs the previous mapping put there (the problem's ``mapping``, or an
+    explicit ``previous_mapping`` argument to :func:`pac`).  The seed is
+    a starting incumbent the search must strictly beat, so the result is
+    never worse than the previous selection — and when demand barely
+    moved, the search early-exits on the seed in zero steps.
     """
 
     minslack: MinSlackConfig = field(default_factory=MinSlackConfig)
     target_utilization: float = 0.95
+    incremental: bool = False
 
     def __post_init__(self):
         check_in_range("target_utilization", self.target_utilization, 0.1, 1.0)
@@ -95,6 +103,7 @@ def pac(
     problem: PlacementProblem,
     vms_to_place: Optional[Sequence[str]] = None,
     config: PACConfig | None = None,
+    previous_mapping: Optional[Dict[str, str]] = None,
 ) -> PlacementPlan:
     """Consolidate VMs onto the most power-efficient servers.
 
@@ -108,13 +117,19 @@ def pac(
         they are and consume capacity on their current hosts.
     config:
         PAC tuning.
+    previous_mapping:
+        When ``config.incremental`` is set, the mapping whose per-server
+        selections seed each Minimum Slack search as its starting
+        incumbent (defaults to ``problem.mapping``).  Seeds only speed
+        the search up and bound it below — the plan is never worse than
+        re-using the previous selections.
 
     Returns the placement plan; VMs that fit nowhere end up in
     ``plan.unplaced`` (and keep their current host in the mapping, if
     they had one).
     """
     config = config or PACConfig()
-    vm_by_id = {v.vm_id: v for v in problem.vms}
+    vm_by_id = problem.vm_index()
     if vms_to_place is None:
         place_ids = [v.vm_id for v in problem.vms]
     else:
@@ -125,6 +140,8 @@ def pac(
     place_set = set(place_ids)
     if len(place_set) != len(place_ids):
         raise ValueError("vms_to_place contains duplicates")
+    if config.incremental and previous_mapping is None:
+        previous_mapping = problem.mapping
 
     # Residual load from VMs that are staying put.
     base_cpu: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
@@ -136,8 +153,15 @@ def pac(
             base_mem[sid] += vm_by_id[vm_id].memory_mb
             final_mapping[vm_id] = sid
 
+    seed_by_server: Dict[str, List[str]] = {}
+    if config.incremental and previous_mapping:
+        for vm_id in place_ids:
+            sid = previous_mapping.get(vm_id)
+            if sid is not None:
+                seed_by_server.setdefault(sid, []).append(vm_id)
+
     remaining: List[VMInfo] = [vm_by_id[i] for i in sorted(place_set)]
-    for server in sort_servers_by_efficiency(problem.servers):
+    for server in problem.servers_by_efficiency():
         if not remaining:
             break
         free_cpu = (
@@ -148,7 +172,11 @@ def pac(
         if free_cpu <= 0 or free_mem < 0:
             continue
         chosen, _ = select_vms_for_server(
-            free_cpu, max(free_mem, 0.0), remaining, config.minslack
+            free_cpu,
+            max(free_mem, 0.0),
+            remaining,
+            config.minslack,
+            incumbent_ids=seed_by_server.get(server.server_id),
         )
         if not chosen:
             continue

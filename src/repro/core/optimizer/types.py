@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cluster.datacenter import DataCenter
 from repro.cluster.migration import MigrationFailedError, MigrationRecord
 
@@ -22,6 +24,7 @@ __all__ = [
     "Migration",
     "PlacementPlan",
     "ApplyReport",
+    "make_vm_infos",
     "snapshot_datacenter",
     "apply_plan",
 ]
@@ -91,19 +94,80 @@ class PlacementProblem:
             if sid not in server_ids:
                 raise ValueError(f"mapping references unknown server {sid!r}")
 
+    @classmethod
+    def trusted(
+        cls,
+        servers: Tuple[ServerInfo, ...],
+        vms: Tuple[VMInfo, ...],
+        mapping: Dict[str, str],
+        *,
+        vm_index: Optional[Dict[str, VMInfo]] = None,
+        server_index: Optional[Dict[str, ServerInfo]] = None,
+        servers_sorted: Optional[Tuple[ServerInfo, ...]] = None,
+    ) -> "PlacementProblem":
+        """Construct without re-running the consistency validation.
+
+        For hot loops that derive one problem from another (optimizer
+        drain rounds, per-step simulation snapshots) where the invariants
+        are guaranteed by construction.  Optionally pre-seeds the lazy
+        lookup caches so derived problems share the parent's indices.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "servers", servers)
+        object.__setattr__(obj, "vms", vms)
+        object.__setattr__(obj, "mapping", mapping)
+        if vm_index is not None:
+            object.__setattr__(obj, "_vm_index", vm_index)
+        if server_index is not None:
+            object.__setattr__(obj, "_server_index", server_index)
+        if servers_sorted is not None:
+            object.__setattr__(obj, "_servers_sorted", servers_sorted)
+        return obj
+
+    # Lookup indices and the efficiency order are built lazily on first
+    # use and memoized on the (frozen) instance: snapshots are immutable,
+    # so each is computed at most once per problem instead of per query.
+
+    def vm_index(self) -> Dict[str, VMInfo]:
+        """Memoized ``vm_id -> VMInfo`` lookup table."""
+        cached = getattr(self, "_vm_index", None)
+        if cached is None:
+            cached = {v.vm_id: v for v in self.vms}
+            object.__setattr__(self, "_vm_index", cached)
+        return cached
+
+    def server_index(self) -> Dict[str, ServerInfo]:
+        """Memoized ``server_id -> ServerInfo`` lookup table."""
+        cached = getattr(self, "_server_index", None)
+        if cached is None:
+            cached = {s.server_id: s for s in self.servers}
+            object.__setattr__(self, "_server_index", cached)
+        return cached
+
+    def servers_by_efficiency(self) -> Tuple[ServerInfo, ...]:
+        """Servers ordered most power-efficient first (GHz/W, ties by
+        id) — the paper's packing order, memoized per snapshot."""
+        cached = getattr(self, "_servers_sorted", None)
+        if cached is None:
+            cached = tuple(
+                sorted(self.servers, key=lambda s: (-s.efficiency, s.server_id))
+            )
+            object.__setattr__(self, "_servers_sorted", cached)
+        return cached
+
     def server_by_id(self, server_id: str) -> ServerInfo:
         """Look up a server snapshot by id."""
-        for s in self.servers:
-            if s.server_id == server_id:
-                return s
-        raise KeyError(f"unknown server id {server_id!r}")
+        try:
+            return self.server_index()[server_id]
+        except KeyError:
+            raise KeyError(f"unknown server id {server_id!r}") from None
 
     def vm_by_id(self, vm_id: str) -> VMInfo:
         """Look up a VM snapshot by id."""
-        for v in self.vms:
-            if v.vm_id == vm_id:
-                return v
-        raise KeyError(f"unknown VM id {vm_id!r}")
+        try:
+            return self.vm_index()[vm_id]
+        except KeyError:
+            raise KeyError(f"unknown VM id {vm_id!r}") from None
 
     def vms_on(self, server_id: str) -> List[VMInfo]:
         """VM snapshots currently mapped to *server_id*."""
@@ -187,6 +251,41 @@ class ApplyReport:
     def total_bytes_moved_mb(self) -> float:
         """Aggregate migration traffic across completed moves."""
         return sum(r.bytes_moved_mb for r in self.records)
+
+
+def make_vm_infos(
+    vm_ids: Sequence[str],
+    demands_ghz: Sequence[float],
+    memories_mb: Sequence[float],
+) -> Tuple[VMInfo, ...]:
+    """Build a tuple of :class:`VMInfo` with the validation vectorized.
+
+    Equivalent to constructing each ``VMInfo`` individually (same ids,
+    same float values) but checks non-negativity once over the whole
+    arrays — the per-step snapshot path of the large-scale harness
+    rebuilds these for hundreds of VMs every trace step.
+    """
+    demands = np.asarray(demands_ghz, dtype=float)
+    memories = np.asarray(memories_mb, dtype=float)
+    if demands.shape != (len(vm_ids),) or memories.shape != (len(vm_ids),):
+        raise ValueError(
+            f"vm_ids/demands/memories lengths disagree: "
+            f"{len(vm_ids)}/{demands.shape}/{memories.shape}"
+        )
+    if np.any(demands < 0):
+        raise ValueError("demand_ghz must be >= 0 for every VM")
+    if np.any(memories < 0):
+        raise ValueError("memory_mb must be >= 0 for every VM")
+    new = object.__new__
+    setter = object.__setattr__
+    out = []
+    for vm_id, demand, memory in zip(vm_ids, demands.tolist(), memories.tolist()):
+        vm = new(VMInfo)
+        setter(vm, "vm_id", vm_id)
+        setter(vm, "demand_ghz", demand)
+        setter(vm, "memory_mb", memory)
+        out.append(vm)
+    return tuple(out)
 
 
 def snapshot_datacenter(dc: DataCenter) -> PlacementProblem:

@@ -14,6 +14,25 @@ fills one bin as completely as possible.  The paper extends it two ways
 
 The search is iterative (explicit stack), so item counts in the
 thousands cannot hit the interpreter recursion limit.
+
+Fast lane
+---------
+Two optional accelerations keep the search out of the simulator's
+hot-path profile without changing what it returns:
+
+* **Dominance pruning** (``prune=True``): with items visited in
+  decreasing-size order, the suffix sum of the remaining sizes is an
+  upper bound on how much more a branch can ever add to the bin.  A
+  branch whose best-case fill cannot *strictly* beat the incumbent is
+  cut.  Because the incumbent only ever updates on strict improvements,
+  pruning preserves the exact sequence of incumbent updates — only the
+  step count (and therefore epsilon-escalation timing on searches that
+  exceed ``max_steps``) can differ from the unpruned search.
+* **Incumbent seeding** (``incumbent=...``): start the search from a
+  known-good selection (e.g. the previous optimizer period's choice for
+  the same server) instead of from the empty bin.  The seed tightens the
+  pruning bound immediately and triggers the epsilon early-exit without
+  a single search step when the previous selection is still good enough.
 """
 
 from __future__ import annotations
@@ -31,14 +50,33 @@ _FIT_TOL = 1e-9
 class PackingConstraint:
     """Incremental feasibility hook for the MBS search.
 
-    ``accepts(idx)`` is queried before item *idx* joins the current
-    selection; ``push``/``pop`` notify the constraint so it can maintain
-    O(1) running state across the depth-first search.
-    The base class accepts everything.
+    Protocol
+    --------
+    The search drives a constraint through a strict call discipline:
+
+    1. ``accepts(idx)`` is queried *before* item *idx* joins the current
+       selection.  It must be a **pure query**: answer "would adding
+       *idx* keep the constraint satisfied?" without mutating any state.
+       In particular, ``accepts`` returning ``True`` does **not** mean
+       the item was added — the search may still reject it (size check)
+       or abandon the branch.
+    2. ``push(idx)`` is called exactly once when item *idx* actually
+       joins the selection.  Only here may running state change.
+    3. ``pop(idx)`` is called exactly once when item *idx* leaves the
+       selection (backtrack), in reverse push order.  ``pop`` must undo
+       exactly what ``push`` did, so that any ``push``/``pop``-balanced
+       call sequence leaves the constraint in its initial state.
+
+    The search guarantees ``push``/``pop`` balance even on early exit,
+    so a constraint object can be reused across searches.  The base
+    class accepts everything.
     """
 
     def accepts(self, idx: int) -> bool:
-        """Would adding item *idx* keep the constraint satisfied?"""
+        """Would adding item *idx* keep the constraint satisfied?
+
+        Must not mutate state — see the class docstring's protocol.
+        """
         return True
 
     def push(self, idx: int) -> None:
@@ -49,12 +87,21 @@ class PackingConstraint:
 
 
 class MemoryConstraint(PackingConstraint):
-    """Total selected memory must not exceed the bin's free memory."""
+    """Total selected memory must not exceed the bin's free memory.
+
+    Sizes and capacity must be finite: a NaN size would otherwise poison
+    every ``used + size <= capacity`` comparison into ``False`` and
+    silently exclude the item from every selection.
+    """
 
     def __init__(self, memory_sizes: Sequence[float], memory_capacity: float):
         self.sizes = np.asarray(memory_sizes, dtype=float)
+        if not np.all(np.isfinite(self.sizes)):
+            raise ValueError("memory sizes must be finite (got NaN/inf)")
         if np.any(self.sizes < 0):
             raise ValueError("memory sizes must be non-negative")
+        if not np.isfinite(memory_capacity):
+            raise ValueError(f"memory_capacity must be finite, got {memory_capacity}")
         if memory_capacity < 0:
             raise ValueError(f"memory_capacity must be >= 0, got {memory_capacity}")
         self.capacity = float(memory_capacity)
@@ -71,7 +118,16 @@ class MemoryConstraint(PackingConstraint):
 
 
 class CompositeConstraint(PackingConstraint):
-    """Conjunction of several constraints."""
+    """Conjunction of several constraints.
+
+    ``accepts`` short-circuits: once one member rejects, later members
+    are **not** queried.  This is safe precisely because the protocol
+    (see :class:`PackingConstraint`) requires ``accepts`` to be a pure
+    query — a member that mutated state in ``accepts`` would desync from
+    its peers whenever an earlier member rejected.  ``push``/``pop`` are
+    always delivered to *every* member (push in order, pop in reverse),
+    keeping all members' running state consistent.
+    """
 
     def __init__(self, constraints: Sequence[PackingConstraint]):
         self.constraints = list(constraints)
@@ -84,7 +140,7 @@ class CompositeConstraint(PackingConstraint):
             c.push(idx)
 
     def pop(self, idx: int) -> None:
-        for c in self.constraints:
+        for c in reversed(self.constraints):
             c.pop(idx)
 
 
@@ -96,7 +152,9 @@ class MBSResult:
     found); ``slack`` is the unfilled primary capacity it leaves;
     ``epsilon_used`` is the allowed slack after any escalations;
     ``early_exit`` reports whether the epsilon threshold (rather than
-    exhaustion of the search space or the hard step cap) ended the run.
+    exhaustion of the search space or the hard step cap) ended the run;
+    ``seeded`` reports whether an incumbent seed survived validation and
+    primed the search.
     """
 
     selected: Tuple[int, ...]
@@ -104,6 +162,7 @@ class MBSResult:
     steps: int
     epsilon_used: float
     early_exit: bool
+    seeded: bool = False
 
 
 def minimum_bin_slack(
@@ -114,6 +173,8 @@ def minimum_bin_slack(
     max_steps: int = 20000,
     epsilon_step: Optional[float] = None,
     hard_step_cap: Optional[int] = None,
+    incumbent: Optional[Sequence[int]] = None,
+    prune: bool = True,
 ) -> MBSResult:
     """Select items minimizing one bin's unfilled primary capacity.
 
@@ -135,8 +196,17 @@ def minimum_bin_slack(
     epsilon_step:
         Escalation increment; defaults to 5% of ``capacity``.
     hard_step_cap:
-        Absolute step bound (defaults to ``50 * max_steps``); guarantees
-        termination even when escalation alone does not converge.
+        Absolute step bound (defaults to ``50 * max_steps``); the search
+        performs **at most exactly this many** feasibility evaluations.
+    incumbent:
+        Optional starting selection (item indices).  Indices must be in
+        range and unique; items that no longer fit (capacity or
+        constraint) are dropped from the seed rather than failing the
+        search.  The surviving seed becomes the initial incumbent the
+        depth-first search must strictly beat.
+    prune:
+        Enable suffix-sum dominance pruning (see module docstring).
+        ``False`` reproduces the exhaustive reference search.
     """
     sizes = np.asarray(primary_sizes, dtype=float)
     if sizes.ndim != 1:
@@ -158,59 +228,128 @@ def minimum_bin_slack(
     if capacity <= epsilon + _FIT_TOL:
         # The empty selection already meets the allowed slack.
         return MBSResult((), float(capacity), 0, float(epsilon), True)
-    order = sorted(range(n), key=lambda i: -sizes[i])
+
     best_sel: Tuple[int, ...] = ()
     best_slack = float(capacity)
+    seeded = False
+    if incumbent is not None and len(incumbent):
+        seed, seed_used = _validate_incumbent(sizes, capacity, constraint, incumbent)
+        if seed:
+            seed_slack = capacity - seed_used
+            if seed_slack < best_slack - _FIT_TOL:
+                best_slack = float(seed_slack)
+                best_sel = tuple(seed)
+                seeded = True
+        if best_slack <= epsilon + _FIT_TOL:
+            # The seed already meets the allowed slack: zero search steps.
+            return MBSResult(best_sel, float(best_slack), 0, float(epsilon), True, seeded)
+
+    # Sort once; the DFS walks positions in this order.  Python lists
+    # beat NumPy scalar indexing inside the interpreter-bound loop, and
+    # binding them (plus the sizes) to locals keeps the inner loop free
+    # of attribute lookups and allocations.
+    order = sorted(range(n), key=lambda i: -sizes[i])
+    sizes_list = [float(s) for s in sizes]
+    sorted_sizes = [sizes_list[i] for i in order]
+    # suffix[pos] = total size of items at positions >= pos: the best
+    # case any branch continuing from pos can still add to the bin.
+    suffix = [0.0] * (n + 1)
+    for pos in range(n - 1, -1, -1):
+        suffix[pos] = suffix[pos + 1] + sorted_sizes[pos]
+
     steps = 0
     eps_current = float(epsilon)
     early = False
+    cap = float(capacity)
+    tol = _FIT_TOL
+    # A plain MemoryConstraint (the overwhelmingly common case) is
+    # inlined: its accept test and running total become local float
+    # arithmetic instead of three bound-method calls per node.  Because
+    # the search keeps push/pop balanced, never touching the object at
+    # all is observationally identical.  Subclasses (overridden hooks)
+    # and composites take the generic protocol path.
+    mem_fast = type(constraint) is MemoryConstraint
+    if mem_fast:
+        mem_sizes = constraint.sizes.tolist()
+        mem_cap = constraint.capacity
+        mem_used = constraint.used
+        accepts = push = pop = None
+    else:
+        accepts = constraint.accepts if constraint is not None else None
+        push = constraint.push if constraint is not None else None
+        pop = constraint.pop if constraint is not None else None
 
     path: List[int] = []
     used = 0.0
     # pos_stack[d] = next order-position to try at depth d.
     pos_stack: List[int] = [0]
+    exhausted = False  # hard step cap reached
 
     while pos_stack:
         pos = pos_stack[-1]
-        taken = None
+        taken = -1
         while pos < n:
+            if prune and used + suffix[pos] <= cap - best_slack + tol:
+                # Even taking every remaining item cannot strictly beat
+                # the incumbent: dominated branch, cut it.
+                pos = n
+                break
             idx = order[pos]
+            size = sorted_sizes[pos]
             pos += 1
             steps += 1
             if steps % max_steps == 0:
                 eps_current += epsilon_step  # escalate (Algorithm 1 line 16)
-            if used + sizes[idx] > capacity + _FIT_TOL:
+            if used + size > cap + tol:
+                if steps >= hard_step_cap:
+                    exhausted = True
+                    break
                 continue
-            if constraint is not None and not constraint.accepts(idx):
+            if mem_fast:
+                if mem_used + mem_sizes[idx] > mem_cap + tol:
+                    if steps >= hard_step_cap:
+                        exhausted = True
+                        break
+                    continue
+            elif accepts is not None and not accepts(idx):
+                if steps >= hard_step_cap:
+                    exhausted = True
+                    break
                 continue
             taken = idx
             break
         pos_stack[-1] = pos
-        if taken is not None:
+        if taken >= 0:
             path.append(taken)
-            used += sizes[taken]
-            if constraint is not None:
-                constraint.push(taken)
-            slack = capacity - used
-            if slack < best_slack - _FIT_TOL:
+            used += sizes_list[taken]
+            if mem_fast:
+                mem_used += mem_sizes[taken]
+            elif push is not None:
+                push(taken)
+            slack = cap - used
+            if slack < best_slack - tol:
                 best_slack = slack
                 best_sel = tuple(path)
-            if best_slack <= eps_current + _FIT_TOL or steps >= hard_step_cap:
-                early = best_slack <= eps_current + _FIT_TOL
+            if best_slack <= eps_current + tol or steps >= hard_step_cap:
+                early = best_slack <= eps_current + tol
                 break
             pos_stack.append(pos)
         else:
+            if exhausted:
+                break
             pos_stack.pop()
             if path:
                 last = path.pop()
-                used -= sizes[last]
-                if constraint is not None:
-                    constraint.pop(last)
+                used -= sizes_list[last]
+                if mem_fast:
+                    mem_used -= mem_sizes[last]
+                elif pop is not None:
+                    pop(last)
 
     # Unwind constraint state so the object can be reused by the caller.
-    if constraint is not None:
+    if pop is not None:
         while path:
-            constraint.pop(path.pop())
+            pop(path.pop())
 
     return MBSResult(
         selected=best_sel,
@@ -218,4 +357,45 @@ def minimum_bin_slack(
         steps=steps,
         epsilon_used=eps_current,
         early_exit=early,
+        seeded=seeded,
     )
+
+
+def _validate_incumbent(
+    sizes: np.ndarray,
+    capacity: float,
+    constraint: Optional[PackingConstraint],
+    incumbent: Sequence[int],
+) -> Tuple[List[int], float]:
+    """Reduce an incumbent seed to a feasible sub-selection.
+
+    Out-of-range indices are a caller bug and raise; items that no
+    longer fit are dropped (demands drift between optimizer periods).
+    Returns the surviving indices and their total size; the constraint
+    object is left in its initial state.
+    """
+    n = sizes.shape[0]
+    survivors: List[int] = []
+    used = 0.0
+    seen = set()
+    try:
+        for i in incumbent:
+            i = int(i)
+            if i < 0 or i >= n:
+                raise ValueError(f"incumbent index {i} out of range [0, {n})")
+            if i in seen:
+                continue
+            seen.add(i)
+            if used + sizes[i] > capacity + _FIT_TOL:
+                continue
+            if constraint is not None and not constraint.accepts(i):
+                continue
+            survivors.append(i)
+            used += float(sizes[i])
+            if constraint is not None:
+                constraint.push(i)
+    finally:
+        if constraint is not None:
+            for i in reversed(survivors):
+                constraint.pop(i)
+    return survivors, used

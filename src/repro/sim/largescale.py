@@ -41,7 +41,7 @@ from repro.core.optimizer.types import (
     PlacementPlan,
     PlacementProblem,
     ServerInfo,
-    VMInfo,
+    make_vm_infos,
 )
 from repro.faults import FaultSchedule
 from repro.obs import get_telemetry
@@ -90,6 +90,13 @@ class LargeScaleConfig:
     trace-driven harness (demands come from the trace, not a sensor).
     ``None`` (default) leaves the run byte-identical to a fault-free
     build.
+
+    ``minslack_prune`` enables the Minimum Slack dominance bound
+    (bit-identical placements, fewer search nodes); ``incremental``
+    seeds each optimizer invocation's per-server searches with the
+    previous placement (an opt-in fast lane — placements may differ
+    from a from-scratch run, but never use more active servers than
+    re-using the previous selections would).
     """
 
     n_vms: int = 100
@@ -106,6 +113,8 @@ class LargeScaleConfig:
     target_utilization: float = 0.9
     minslack_max_steps: int = 3000
     minslack_epsilon_ghz: float = 0.1
+    minslack_prune: bool = True
+    incremental: bool = False
     migration_overhead_w: float = 30.0
     migration_bandwidth_mbps: float = 1000.0
     faults: Optional[FaultSchedule] = None
@@ -171,8 +180,10 @@ def _build_optimizer(config: LargeScaleConfig) -> Callable[[PlacementProblem], P
         minslack=MinSlackConfig(
             epsilon_ghz=config.minslack_epsilon_ghz,
             max_steps=config.minslack_max_steps,
+            prune=config.minslack_prune,
         ),
         target_utilization=config.target_utilization,
+        incremental=config.incremental,
     )
     if config.scheme == "ipac":
         ipac_cfg = IPACConfig(pac=pac_cfg)
@@ -247,7 +258,8 @@ def run_largescale(
             )
     group_index = [(np.asarray(idx), spec_caps[key]) for key, idx in spec_groups.items()]
 
-    # Static optimizer views.
+    # Static optimizer views, prebuilt in both power states so the
+    # per-step snapshot only selects (never constructs) ServerInfo.
     server_infos = tuple(
         ServerInfo(
             server_id=s.server_id,
@@ -260,6 +272,18 @@ def run_largescale(
             sleep_w=srv_sleep[i],
         )
         for i, s in enumerate(server_list)
+    )
+    server_infos_on = tuple(
+        ServerInfo(
+            si.server_id, si.max_capacity_ghz, si.memory_mb, si.efficiency,
+            True, si.idle_w, si.busy_w, si.sleep_w,
+        )
+        for si in server_infos
+    )
+    # Efficiency order as indices (the packing order is a property of
+    # the pool, not of the per-step active flags).
+    eff_order = sorted(
+        range(n_srv), key=lambda i: (-srv_eff[i], server_list[i].server_id)
     )
     vm_ids = [f"vm{j:05d}" for j in range(n_vms)]
     sid_to_idx = {s.server_id: i for i, s in enumerate(server_list)}
@@ -328,10 +352,7 @@ def run_largescale(
     active_migration_faults: List = []
 
     def _build_problem(demand_now: np.ndarray) -> PlacementProblem:
-        vm_infos = tuple(
-            VMInfo(vm_ids[j], float(demand_now[j]), float(memories[j]))
-            for j in range(n_vms)
-        )
+        vm_infos = make_vm_infos(vm_ids, demand_now, memories)
         mapping = {
             vm_ids[j]: idx_to_sid[assignment[j]]
             for j in range(n_vms)
@@ -352,25 +373,26 @@ def run_largescale(
                 if not srv_failed[i]
             )
             return PlacementProblem(infos, vm_infos, mapping)
+        # Fault-free fast lane: select the prebuilt on/off snapshot per
+        # server; the invariants hold by construction, so skip the
+        # O(n) re-validation and attach the precomputed packing order.
         infos = tuple(
-            si if (si.server_id in hosting) == si.active
-            else ServerInfo(
-                si.server_id, si.max_capacity_ghz, si.memory_mb,
-                si.efficiency, si.server_id in hosting,
-                si.idle_w, si.busy_w, si.sleep_w,
-            )
-            for si in server_infos
+            server_infos_on[i] if idx_to_sid[i] in hosting else server_infos[i]
+            for i in range(n_srv)
         )
-        return PlacementProblem(infos, vm_infos, mapping)
+        return PlacementProblem.trusted(
+            infos,
+            vm_infos,
+            mapping,
+            servers_sorted=tuple(infos[i] for i in eff_order),
+        )
 
     def _apply_mapping(
         final_mapping: Dict[str, str], time_s: float = 0.0
     ) -> np.ndarray:
         new_assignment = np.full(n_vms, -1, dtype=int)
-        for j, vm_id in enumerate(vm_ids):
-            sid = final_mapping.get(vm_id)
-            if sid is not None:
-                new_assignment[j] = sid_to_idx[sid]
+        for vm_id, sid in final_mapping.items():
+            new_assignment[sid_to_vmidx[vm_id]] = sid_to_idx[sid]
         if active_migration_faults:
             moved = np.nonzero(
                 (assignment >= 0)
@@ -408,8 +430,10 @@ def run_largescale(
         minslack=MinSlackConfig(
             epsilon_ghz=config.minslack_epsilon_ghz,
             max_steps=config.minslack_max_steps,
+            prune=config.minslack_prune,
         ),
         target_utilization=config.target_utilization,
+        incremental=config.incremental,
     )
 
     def _apply_fault_transitions(step: int, demand_now: np.ndarray) -> None:

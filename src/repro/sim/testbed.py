@@ -100,6 +100,7 @@ class TestbedConfig:
     optimize_at_s: tuple = ()
     faults: Optional[FaultSchedule] = None
     fault_downtime_s: float = 30.0
+    mpc_warm_start: bool = True
     seed: int = 2010
 
     def __post_init__(self):
@@ -243,15 +244,18 @@ class TestbedExperiment:
                 Application(f"app{i}", vm_ids, plant=plant, rt_setpoint_ms=setpoint)
             )
             if cfg.controlled:
+                cc = ControllerConfig(
+                    setpoint_ms=setpoint,
+                    period_s=cfg.control_period_s,
+                    # Under fault injection a NaN sample means the
+                    # sensor dropped out, not starvation: hold.
+                    missing_policy="hold" if cfg.faults else "pessimistic",
+                )
+                if not cfg.mpc_warm_start:
+                    cc = replace(cc, mpc=replace(cc.mpc, warm_start=False))
                 controller = ResponseTimeController(
                     model,
-                    ControllerConfig(
-                        setpoint_ms=setpoint,
-                        period_s=cfg.control_period_s,
-                        # Under fault injection a NaN sample means the
-                        # sensor dropped out, not starvation: hold.
-                        missing_policy="hold" if cfg.faults else "pessimistic",
-                    ),
+                    cc,
                     c_min=[cfg.min_alloc_ghz] * 2,
                     c_max=[cfg.max_alloc_ghz] * 2,
                     initial_alloc_ghz=[cfg.initial_alloc_ghz] * 2,

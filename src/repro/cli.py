@@ -1,6 +1,6 @@
 """Command-line entry points (installed as ``repro-testbed``,
 ``repro-largescale``, ``repro-trace``, ``repro-obs``, ``repro-faults``,
-and ``repro-bench``).
+``repro-bench``, ``repro-scenario``, and ``repro-sim``).
 
 Each command runs one of the paper's experiments with configurable
 parameters and prints a plain-text report; they are thin wrappers over
@@ -10,6 +10,11 @@ the same harnesses the benchmark suite uses.  All commands take
 ``repro-obs summarize`` can render, and ``--faults PATH`` to inject a
 deterministic fault scenario (validate/generate one with
 ``repro-faults``).
+
+``repro-scenario`` lists and validates named scenario specs (the
+:class:`repro.engine.scenario.ScenarioRegistry`); ``repro-sim`` runs one
+through the control-plane kernel, with ``--checkpoint``/``--resume`` for
+mid-run snapshots.
 """
 
 from __future__ import annotations
@@ -388,6 +393,180 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
             return 1
         print(f"no regressions vs {args.check_against} "
               f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _load_scenario(name_or_path: str):
+    """Resolve a CLI scenario argument: registry name or JSON file path.
+
+    Returns the spec, or raises SystemExit(1) with a message on stderr.
+    """
+    import json as _json
+
+    from repro.engine.scenario import ScenarioError, ScenarioSpec, builtin_registry
+
+    registry = builtin_registry()
+    if name_or_path in registry:
+        return registry.get(name_or_path)
+    try:
+        with open(name_or_path, "r", encoding="utf-8") as fh:
+            doc = _json.load(fh)
+    except OSError:
+        print(
+            f"unknown scenario {name_or_path!r} (and no such file); "
+            f"known: {', '.join(registry.names())}",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    except ValueError as exc:
+        print(f"{name_or_path} is not JSON: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    try:
+        return ScenarioSpec.from_dict(doc)
+    except ScenarioError as exc:
+        print(f"{name_or_path}: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def main_scenario(argv: Optional[List[str]] = None) -> int:
+    """List and validate kernel scenario specs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scenario",
+        description="Inspect the named engine scenarios runnable with "
+        "repro-sim --scenario.",
+    )
+    add_verbosity_flags(parser)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_list = sub.add_parser("list", help="show every registered scenario")
+    p_list.add_argument(
+        "--json", action="store_true",
+        help="print the full specs as JSON instead of a table",
+    )
+    p_val = sub.add_parser(
+        "validate",
+        help="check a scenario (registry name or JSON spec file)",
+    )
+    p_val.add_argument("scenario", help="registered name or path to a spec JSON")
+
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+    from repro.engine.scenario import builtin_registry
+
+    if args.command == "list":
+        registry = builtin_registry()
+        if args.json:
+            import json as _json
+
+            print(_json.dumps([s.to_dict() for s in registry], indent=2))
+            return 0
+        rows = [[s.name, s.harness, "yes" if s.faults else "-", s.description]
+                for s in registry]
+        print(format_table(
+            ["name", "harness", "faults", "description"], rows,
+            title=f"{len(registry)} scenarios",
+        ))
+        return 0
+
+    spec = _load_scenario(args.scenario)
+    problems = spec.validate()
+    if problems:
+        for p in problems:
+            print(f"repro-scenario: {spec.name}: {p}", file=sys.stderr)
+        return 1
+    engine_desc = f"{spec.harness} harness"
+    if spec.faults:
+        engine_desc += f", {len(spec.faults.get('events', []))} fault events"
+    print(f"{spec.name}: OK — {engine_desc}")
+    return 0
+
+
+def main_sim(argv: Optional[List[str]] = None) -> int:
+    """Run a named scenario through the control-plane kernel."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Run a scenario (see repro-scenario list) through the "
+        "unified engine, optionally checkpointing mid-run or resuming "
+        "from a checkpoint.",
+    )
+    parser.add_argument(
+        "--scenario", required=True, metavar="NAME",
+        help="registered scenario name, or path to a scenario spec JSON",
+    )
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="record telemetry (spans, events, metrics) to a JSONL file",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="with --checkpoint-at: write the mid-run checkpoint here and stop",
+    )
+    parser.add_argument(
+        "--checkpoint-at", type=int, default=None, metavar="K",
+        help="stop after K control periods and save --checkpoint",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="restore this checkpoint (same scenario!) and run to completion",
+    )
+    add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+    if (args.checkpoint is None) != (args.checkpoint_at is None):
+        parser.error("--checkpoint and --checkpoint-at go together")
+    if args.resume and args.checkpoint:
+        parser.error("--resume and --checkpoint are mutually exclusive")
+
+    from repro.engine.kernel import CheckpointError, ControlPlane
+    from repro.engine.scenario import ScenarioError
+
+    spec = _load_scenario(args.scenario)
+    try:
+        engine, backend = spec.build()
+    except ScenarioError as exc:
+        print(f"repro-sim: {exc}", file=sys.stderr)
+        return 1
+    with _telemetry_scope(args.trace_jsonl):
+        if args.resume:
+            try:
+                engine.restore(ControlPlane.load_checkpoint(args.resume))
+            except (OSError, CheckpointError) as exc:
+                print(f"repro-sim: cannot resume {args.resume}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"resumed {spec.name} at period {engine.k}/{engine.n_periods}")
+        else:
+            backend.start()
+        if args.checkpoint is not None:
+            engine.run(until_period=args.checkpoint_at)
+            engine.save_checkpoint(args.checkpoint)
+            print(
+                f"checkpoint at period {engine.k}/{engine.n_periods} "
+                f"written to {args.checkpoint}"
+            )
+            if args.trace_jsonl:
+                print(f"telemetry written to {args.trace_jsonl}")
+            return 0
+        engine.run()
+        result = backend.result()
+    if spec.harness == "testbed":
+        from repro.sim.report import testbed_report
+
+        cfg = backend.config
+        print(testbed_report(result, n_apps=cfg.n_apps, setpoint_ms=cfg.setpoint_ms))
+    else:
+        rows = [[
+            result.scheme, result.n_vms, f"{result.total_energy_wh:.1f}",
+            f"{result.energy_per_vm_wh:.1f}", result.migrations,
+            f"{result.mean_active_servers:.1f}", result.overload_server_steps,
+        ]]
+        print(format_table(
+            ["scheme", "#VMs", "energy Wh", "Wh/VM", "moves", "avg active",
+             "overload steps"],
+            rows,
+            title=f"{spec.name}: {result.n_steps} steps of {result.step_s:.0f}s",
+        ))
+    if args.trace_jsonl:
+        print(f"telemetry written to {args.trace_jsonl}")
     return 0
 
 

@@ -222,6 +222,35 @@ class MPCController:
             cache[key] = entry
         return entry
 
+    def state_dict(self) -> dict:
+        """Warm-start working sets + solve counters (engine checkpoints).
+
+        The cached prediction/Hessian matrices are *not* serialized:
+        they are deterministic functions of the model parameters and are
+        rebuilt identically on first use after a restore.
+        """
+        return {
+            "warm_active": [
+                {
+                    "mode": mode,
+                    "has_cap": has_cap,
+                    "active": [int(i) for i in active],
+                }
+                for (mode, has_cap), active in sorted(self._warm_active.items())
+            ],
+            "solves": self.solves,
+            "warm_hits": self.warm_hits,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore :meth:`state_dict` so the next solve is bit-identical."""
+        self._warm_active = {
+            (str(e["mode"]), bool(e["has_cap"])): tuple(int(i) for i in e["active"])
+            for e in state["warm_active"]
+        }
+        self.solves = int(state["solves"])
+        self.warm_hits = int(state["warm_hits"])
+
     def adopt_warm_state(self, other: "MPCController") -> None:
         """Carry another controller's warm-start working sets over.
 

@@ -279,6 +279,45 @@ class ResponseTimeController:
         hi = np.maximum(hi, lo)
         return lo, hi
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the control state (engine checkpoints).
+
+        Covers everything :meth:`update` reads or writes across periods:
+        the output/input histories, the offset-free bias estimate, the
+        missing-measurement bookkeeping, and the MPC warm state.  The
+        model and config are construction-time inputs, not state.
+        """
+        return {
+            "t_hist": [float(t) for t in self._t_hist],
+            "c_hist": [[float(v) for v in c] for c in self._c_hist],
+            "last_valid_t": float(self._last_valid_t),
+            "bias": float(self._bias),
+            "last_raw_prediction": (
+                None if self._last_raw_prediction is None
+                else float(self._last_raw_prediction)
+            ),
+            "consecutive_missing": self._consecutive_missing,
+            "held_updates": self.held_updates,
+            "mpc": self._mpc.state_dict(),
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore :meth:`state_dict` so control resumes bit-identically."""
+        c_hist = [np.asarray(c, dtype=float) for c in state["c_hist"]]
+        if any(c.shape != self.c_min.shape for c in c_hist):
+            raise ValueError(
+                f"checkpoint c_hist entries must have shape {self.c_min.shape}"
+            )
+        self._t_hist = [float(t) for t in state["t_hist"]]
+        self._c_hist = c_hist
+        self._last_valid_t = float(state["last_valid_t"])
+        self._bias = float(state["bias"])
+        raw = state["last_raw_prediction"]
+        self._last_raw_prediction = None if raw is None else float(raw)
+        self._consecutive_missing = int(state["consecutive_missing"])
+        self.held_updates = int(state["held_updates"])
+        self._mpc.load_state_dict(state["mpc"])
+
     def notify_allocation(self, actual_alloc_ghz: Sequence[float]) -> None:
         """Overwrite the newest input-history entry with what was *actually*
         granted (anti-windup: when the arbitrator rations an overloaded

@@ -129,6 +129,128 @@ def _run_pac(
     return plan.final_mapping, plan.unplaced
 
 
+#: Ejection-chain repair bounds: how many displacements one chain may
+#: make and how many search nodes one repair invocation may expand.
+#: Small instances are solved exactly well within these bounds; at
+#: production scale the search degrades gracefully into a bounded
+#: best-effort pass.
+_REPAIR_MAX_DEPTH = 8
+_REPAIR_NODE_BUDGET = 5000
+
+
+def _repair_unplaced(
+    problem: PlacementProblem,
+    mapping: Dict[str, str],
+    unplaced: List[str],
+    config: PACConfig,
+) -> Tuple[Dict[str, str], List[str], Set[str]]:
+    """Home still-unplaced VMs, displacing hosted VMs if necessary.
+
+    PAC packs each server to minimise unused CPU without looking ahead,
+    so a memory-heavy VM can end up homeless while the cluster as a
+    whole has plenty of room — if some already-placed VMs stepped
+    aside.  For each unplaced VM this runs a depth- and budget-bounded
+    ejection-chain search: place the VM directly if any server has
+    room, otherwise eject one hosted VM to make room and recursively
+    re-home the ejected VM the same way.  All orderings are
+    deterministic (efficiency order for servers, demand order for
+    ejection candidates).  Returns the updated mapping, the VMs that
+    still fit nowhere, and the ids of every VM displaced to make room
+    (their moves are mandatory — they exist only to home an
+    otherwise-homeless VM).
+    """
+    vm_by_id = problem.vm_index()
+    loads: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+    mems: Dict[str, float] = {s.server_id: 0.0 for s in problem.servers}
+    for vm_id, sid in mapping.items():
+        loads[sid] += vm_by_id[vm_id].demand_ghz
+        mems[sid] += vm_by_id[vm_id].memory_mb
+    servers = problem.servers_by_efficiency()
+    budget = [_REPAIR_NODE_BUDGET]
+
+    def fits(vm: VMInfo, server: ServerInfo, extra_cpu: float = 0.0,
+             extra_mem: float = 0.0) -> bool:
+        cap = server.max_capacity_ghz * config.target_utilization
+        return (
+            loads[server.server_id] - extra_cpu + vm.demand_ghz <= cap + 1e-9
+            and mems[server.server_id] - extra_mem + vm.memory_mb
+            <= server.memory_mb + 1e-9
+        )
+
+    def assign(vm: VMInfo, sid: str) -> None:
+        old = mapping.get(vm.vm_id)
+        if old is not None:
+            loads[old] -= vm.demand_ghz
+            mems[old] -= vm.memory_mb
+        mapping[vm.vm_id] = sid
+        loads[sid] += vm.demand_ghz
+        mems[sid] += vm.memory_mb
+
+    def unassign(vm: VMInfo) -> Optional[str]:
+        sid = mapping.pop(vm.vm_id, None)
+        if sid is not None:
+            loads[sid] -= vm.demand_ghz
+            mems[sid] -= vm.memory_mb
+        return sid
+
+    def place(vm: VMInfo, depth: int, in_chain: Set[str]) -> bool:
+        """Place *vm* somewhere, ejecting at most *depth* further VMs.
+
+        On failure the mapping is restored exactly; on success every
+        touched assignment is final.
+        """
+        # The direct scan is never cut short by the budget: a VM is
+        # reported unplaced only if no server has room for it outright.
+        for server in servers:
+            if fits(vm, server):
+                assign(vm, server.server_id)
+                return True
+        if depth <= 0 or budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        for server in servers:
+            hosted = sorted(
+                (u for u, sid in mapping.items() if sid == server.server_id),
+                key=lambda u: (vm_by_id[u].demand_ghz, u),
+            )
+            for u in hosted:
+                if u in in_chain:
+                    continue
+                uvm = vm_by_id[u]
+                if not fits(vm, server, extra_cpu=uvm.demand_ghz,
+                            extra_mem=uvm.memory_mb):
+                    continue
+                if budget[0] <= 0:
+                    return False
+                budget[0] -= 1
+                prior = unassign(uvm)
+                assign(vm, server.server_id)
+                if place(uvm, depth - 1, in_chain | {vm.vm_id, u}):
+                    return True
+                unassign(vm)
+                if prior is not None:
+                    assign(uvm, prior)
+        return False
+
+    before = dict(mapping)
+    still: List[str] = []
+    order = sorted(unplaced, key=lambda v: (-vm_by_id[v].demand_ghz, v))
+    for vm_id in order:
+        vm = vm_by_id[vm_id]
+        # An unplaceable VM may sit on its old (overloaded) host as a
+        # fallback; ignore that footprint while searching for a home.
+        fallback = unassign(vm)
+        if not place(vm, _REPAIR_MAX_DEPTH, {vm_id}):
+            still.append(vm_id)
+            if fallback is not None:
+                assign(vm, fallback)
+    moved = {
+        vm_id for vm_id, sid in mapping.items()
+        if vm_id not in unplaced and before.get(vm_id) != sid
+    }
+    return mapping, still, moved
+
+
 def ipac(problem: PlacementProblem, config: IPACConfig | None = None) -> PlacementPlan:
     """One IPAC invocation; returns the placement plan.
 
@@ -237,6 +359,25 @@ def _ipac(problem: PlacementProblem, config: IPACConfig) -> PlacementPlan:
             else:
                 break  # no further improvement: stop (paper's loop condition)
         drain_span.annotate(attempted=rounds_attempted, accepted=rounds_accepted)
+
+    # ---- Retry VMs that found no home in phase A ----------------------
+    # Draining can free capacity (a victim's VMs consolidate elsewhere,
+    # leaving an efficient server empty), so a VM that fit nowhere before
+    # the drain loop may fit now.  These VMs are hosted nowhere, so
+    # placing them beats any power consideration.  When a straight
+    # retry still fails, attempt a single-relocation repair: move one
+    # hosted VM aside to open the needed room.  Repair moves become
+    # mandatory — they exist only to home an otherwise-homeless VM.
+    if unplaced:
+        mapping, unplaced = _run_pac(
+            problem, mapping, unplaced, config.pac,
+            previous_mapping=problem.mapping,
+        )
+    if unplaced:
+        mapping, unplaced, repair_moved = _repair_unplaced(
+            problem, mapping, unplaced, config.pac
+        )
+        mandatory_ids.update(repair_moved)
 
     # ---- Phase C: cost-aware migration filter -------------------------
     with tel.span("ipac.cost_filter") as filter_span:

@@ -1,0 +1,176 @@
+"""Typed component interfaces of the control-plane kernel.
+
+The paper's two-level architecture decomposes into a small set of
+component roles — the sensor → estimator → controller → actuator chain
+made explicit by robust-provisioning work such as Makridis et al.
+(arXiv:1811.05533) — and the kernel (:mod:`repro.engine.kernel`)
+advances them in a fixed, per-backend phase order each control period:
+
+=================  ====================================================
+protocol            responsibility
+=================  ====================================================
+SensorSource        produce this period's measurements (response times
+                    or per-VM demand snapshots)
+SysIdUpdater        consume measurements to refresh a model (RLS /
+                    demand forecaster)
+ResponseTimeStage   application-level control: measurements → demands
+ArbitratorStage     server-level arbitration: demands → DVFS + grants
+OptimizerEpoch      slow-time-scale placement optimization, invoked on
+                    its own schedule between control periods
+ActuatorStage       push granted allocations / placements into a plant
+FaultStage          apply fault-schedule transitions for the period
+TelemetrySink       flush structured telemetry at period boundaries
+PlantBackend        the simulated (or, later, real) plant a scenario
+                    runs against
+Checkpointable      serialize mutable state to a JSON-safe dict and
+                    restore it bit-identically
+EnginePhase         the uniform callable shape the kernel actually runs
+=================  ====================================================
+
+Every protocol is :func:`typing.runtime_checkable`, so the kernel can
+validate a phase list at construction time, and ``mypy`` checks the
+backends structurally (the CI runs ``mypy src/repro/engine/``).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Protocol,
+    TYPE_CHECKING,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    import numpy as np
+
+    from repro.engine.kernel import PeriodContext
+
+__all__ = [
+    "ActuatorStage",
+    "ArbitratorStage",
+    "Checkpointable",
+    "EnginePhase",
+    "FaultStage",
+    "OptimizerEpoch",
+    "PlantBackend",
+    "ResponseTimeStage",
+    "SensorSource",
+    "SysIdUpdater",
+    "TelemetrySink",
+]
+
+
+# The uniform shape of one engine phase: a callable the kernel invokes
+# once per control period with the running :class:`PeriodContext`.
+EnginePhase = Callable[["PeriodContext"], None]
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """A component whose mutable state round-trips through JSON.
+
+    ``state_dict`` must return only JSON-serializable values (dicts,
+    lists, strings, ints, floats, bools, None); ``load_state_dict`` must
+    restore the component so that subsequent stepping is bit-identical
+    to never having been serialized.
+    """
+
+    def state_dict(self) -> Dict[str, Any]: ...
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None: ...
+
+
+@runtime_checkable
+class SensorSource(Protocol):
+    """Produces the period's measurements (sensing phase)."""
+
+    def sense(self, ctx: "PeriodContext") -> None: ...
+
+
+@runtime_checkable
+class SysIdUpdater(Protocol):
+    """Consumes fresh measurements to update an online model.
+
+    Covers both response-time model adaptation (RLS shadow estimation)
+    and demand forecasting (EWMA / Holt) — anything that learns between
+    control decisions.
+    """
+
+    def update_model(self, ctx: "PeriodContext") -> None: ...
+
+
+@runtime_checkable
+class ResponseTimeStage(Protocol):
+    """Application-level controller: measured response time → demands."""
+
+    def update(
+        self,
+        measured_rt_ms: float,
+        used_ghz: Optional["np.ndarray"] = None,
+    ) -> "np.ndarray": ...
+
+    def notify_allocation(self, actual_alloc_ghz: "np.ndarray") -> None: ...
+
+
+@runtime_checkable
+class ArbitratorStage(Protocol):
+    """Server-level arbitration: per-VM demands → DVFS level + grants."""
+
+    def arbitrate(
+        self, server: Any, demands_ghz: Mapping[str, float]
+    ) -> Any: ...
+
+
+@runtime_checkable
+class OptimizerEpoch(Protocol):
+    """Slow-time-scale optimizer invocations (consolidation epochs)."""
+
+    def maybe_optimize(self, ctx: "PeriodContext") -> None: ...
+
+
+@runtime_checkable
+class ActuatorStage(Protocol):
+    """Pushes control decisions into the plant."""
+
+    def actuate(self, ctx: "PeriodContext") -> None: ...
+
+
+@runtime_checkable
+class FaultStage(Protocol):
+    """Applies fault-schedule transitions due this period."""
+
+    def inject(self, ctx: "PeriodContext") -> None: ...
+
+
+@runtime_checkable
+class TelemetrySink(Protocol):
+    """Flushes buffered telemetry at period boundaries."""
+
+    def flush(self, ctx: "PeriodContext") -> None: ...
+
+
+@runtime_checkable
+class PlantBackend(Protocol):
+    """The plant a scenario runs against.
+
+    A plant advances one control period under the currently applied
+    allocations/placement and exposes whatever the scenario's sensors
+    read.  Implementations in this repository: the request-level DES
+    testbed plant (:class:`repro.engine.testbed_backend.TestbedBackend`)
+    and the vectorized trace-driven plant
+    (:class:`repro.engine.largescale_backend.LargeScaleBackend`).  A
+    real-hardware backend would satisfy the same protocol.
+    """
+
+    @property
+    def n_periods(self) -> int: ...
+
+    @property
+    def period_s(self) -> float: ...
+
+    def phases(self) -> Any: ...

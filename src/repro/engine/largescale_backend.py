@@ -1,0 +1,747 @@
+"""Kernel backend for the trace-driven large-scale simulation.
+
+This is the vectorized plant behind :func:`repro.sim.largescale.run_largescale`
+(paper §VI-B, Fig. 6), restructured as :class:`ControlPlane` phases:
+
+``sense`` (trace demand snapshot) → ``faults`` (schedule transitions) →
+``sysid`` (demand-forecaster update) → ``optimize`` (consolidation
+epochs + on-demand relief) → ``actuate`` (DVFS selection, power and
+energy accounting, telemetry).
+
+The phase bodies are the legacy loop body, split — not rewritten — so a
+kernel-driven run is bit-identical to the pre-kernel harness (pinned by
+golden hashes in ``tests/test_engine.py`` / ``tests/test_perf_fastpath.py``).
+
+Unlike the DES testbed plant, the whole mutable state here is arrays and
+counters, so the backend is fully :class:`Checkpointable`: a checkpoint
+taken mid-run resumes directly (no replay) and finishes bit-identical to
+an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.catalog import STANDARD_SERVER_TYPES, make_server_pool
+from repro.cluster.migration import LiveMigrationModel
+from repro.cluster.server import Server
+from repro.core.optimizer.ipac import IPACConfig, ipac
+from repro.core.optimizer.minslack import MinSlackConfig
+from repro.core.optimizer.ondemand import OnDemandConfig, relieve_overloads
+from repro.core.optimizer.pac import PACConfig, pac
+from repro.core.optimizer.pmapper import PMapperConfig, pmapper
+from repro.core.optimizer.types import (
+    PlacementPlan,
+    PlacementProblem,
+    ServerInfo,
+    make_vm_infos,
+)
+from repro.engine.checkpoint import (
+    decode_array,
+    decode_rng,
+    encode_array,
+    encode_rng,
+    require_fields,
+)
+from repro.engine.kernel import CheckpointError, ControlPlane, PeriodContext, Phase
+from repro.obs import get_telemetry
+from repro.traces.forecast import DemandForecaster, EwmaPeakForecaster, HoltForecaster
+from repro.traces.trace import UtilizationTrace
+from repro.util.rng import RngLike, ensure_rng
+
+if False:  # typing-only import without a cycle at runtime
+    from repro.sim.largescale import LargeScaleConfig, LargeScaleResult
+
+__all__ = ["LargeScaleBackend", "build_largescale_engine"]
+
+logger = logging.getLogger(__name__)
+
+
+def _build_optimizer(config: "LargeScaleConfig") -> Callable[[PlacementProblem], PlacementPlan]:
+    """Scheme → consolidation callable (shared by CLI and benchmarks)."""
+    pac_cfg = PACConfig(
+        minslack=MinSlackConfig(
+            epsilon_ghz=config.minslack_epsilon_ghz,
+            max_steps=config.minslack_max_steps,
+            prune=config.minslack_prune,
+        ),
+        target_utilization=config.target_utilization,
+        incremental=config.incremental,
+    )
+    if config.scheme == "ipac":
+        ipac_cfg = IPACConfig(pac=pac_cfg)
+        return lambda p: ipac(p, ipac_cfg)
+    if config.scheme in ("pac", "static_peak"):
+        return lambda p: pac(p, None, pac_cfg)
+    pm_cfg = PMapperConfig(target_utilization=config.target_utilization)
+    return lambda p: pmapper(p, pm_cfg)
+
+
+class LargeScaleBackend:
+    """Vectorized trace-driven plant + its control-plane phases."""
+
+    resume_strategy = "state"
+
+    def __init__(
+        self,
+        trace: UtilizationTrace,
+        config: "LargeScaleConfig",
+        servers: Optional[Sequence[Server]] = None,
+        rng: RngLike = None,
+        optimizer: Optional[Callable[[PlacementProblem], PlacementPlan]] = None,
+    ):
+        self.config = config
+        generator = ensure_rng(rng if rng is not None else config.seed)
+        if config.n_vms > trace.n_series:
+            raise ValueError(
+                f"trace has {trace.n_series} series < n_vms={config.n_vms}"
+            )
+        sub = trace.subset(config.n_vms)
+        self.peaks = generator.uniform(*config.vm_peak_range_ghz, size=config.n_vms)
+        self.memories = generator.choice(
+            np.asarray(config.vm_memory_choices_mb, dtype=float), size=config.n_vms
+        )
+        self.demands = sub.demands_ghz(self.peaks)  # (n_vms, n_steps)
+        self.n_vms, self.n_steps = self.demands.shape
+        self.dt_s = sub.interval_s
+
+        if servers is None:
+            servers = make_server_pool(
+                config.n_servers,
+                STANDARD_SERVER_TYPES,
+                rng=np.random.default_rng(config.seed + 1),
+                type_weights=config.type_weights,
+            )
+        self.server_list = list(servers)
+        n_srv = self.n_srv = len(self.server_list)
+        server_list = self.server_list
+
+        # Static per-server arrays.
+        self.srv_max_cap = np.asarray([s.spec.max_capacity_ghz for s in server_list])
+        self.srv_mem = np.asarray([float(s.spec.memory_mb) for s in server_list])
+        self.srv_idle = np.asarray([s.spec.power.idle_w for s in server_list])
+        self.srv_busy = np.asarray([s.spec.power.busy_w for s in server_list])
+        self.srv_eff = np.asarray([s.spec.power_efficiency for s in server_list])
+        self.srv_sleep = np.asarray([s.spec.power.sleep_w for s in server_list])
+        self.srv_exp = np.asarray([s.spec.power.dvfs_exponent for s in server_list])
+        self.srv_kidle = np.asarray(
+            [s.spec.power.idle_dvfs_fraction for s in server_list]
+        )
+
+        # Group servers by spec for vectorized DVFS level selection.
+        spec_groups: Dict[int, List[int]] = {}
+        spec_caps: Dict[int, np.ndarray] = {}
+        for i, s in enumerate(server_list):
+            key = id(s.spec)
+            spec_groups.setdefault(key, []).append(i)
+            if key not in spec_caps:
+                spec_caps[key] = np.asarray(
+                    [s.spec.cpu.capacity_at(f) for f in s.spec.cpu.freq_levels_ghz]
+                )
+        self.group_index = [
+            (np.asarray(idx), spec_caps[key]) for key, idx in spec_groups.items()
+        ]
+
+        # Static optimizer views, prebuilt in both power states so the
+        # per-step snapshot only selects (never constructs) ServerInfo.
+        self.server_infos = tuple(
+            ServerInfo(
+                server_id=s.server_id,
+                max_capacity_ghz=self.srv_max_cap[i],
+                memory_mb=self.srv_mem[i],
+                efficiency=self.srv_eff[i],
+                active=False,
+                idle_w=self.srv_idle[i],
+                busy_w=self.srv_busy[i],
+                sleep_w=self.srv_sleep[i],
+            )
+            for i, s in enumerate(server_list)
+        )
+        self.server_infos_on = tuple(
+            ServerInfo(
+                si.server_id, si.max_capacity_ghz, si.memory_mb, si.efficiency,
+                True, si.idle_w, si.busy_w, si.sleep_w,
+            )
+            for si in self.server_infos
+        )
+        # Efficiency order as indices (a property of the pool, not of
+        # the per-step active flags).
+        self.eff_order = sorted(
+            range(n_srv),
+            key=lambda i: (-self.srv_eff[i], server_list[i].server_id),
+        )
+        self.vm_ids = [f"vm{j:05d}" for j in range(self.n_vms)]
+        self.sid_to_idx = {s.server_id: i for i, s in enumerate(server_list)}
+        self.idx_to_sid = [s.server_id for s in server_list]
+        self.sid_to_vmidx = {self.vm_ids[j]: j for j in range(self.n_vms)}
+
+        self.optimizer = optimizer if optimizer is not None else _build_optimizer(config)
+
+        # -- mutable run state (everything state_dict serializes) -------
+        self.assignment = np.full(self.n_vms, -1, dtype=int)
+        self.prev_hosting = np.zeros(n_srv, dtype=bool)
+        self.migrations = 0
+        self.overload_server_steps = 0
+        self.unplaced_vm_steps = 0
+        self.power_series = np.empty(self.n_steps)
+        self.active_series = np.empty(self.n_steps, dtype=int)
+        self.total_energy_wh = 0.0
+        self.dvfs_on = config.dvfs_enabled
+
+        # Fault state (only consulted when a schedule is attached).
+        self.fault_timeline = config.faults.cursor() if config.faults else None
+        self.fault_rng = (
+            np.random.default_rng(config.faults.seed) if config.faults else None
+        )
+        self.srv_frac = np.ones(n_srv)
+        self.srv_failed = np.zeros(n_srv, dtype=bool)
+        self.active_migration_faults: List = []
+
+        self.migration_model = LiveMigrationModel(
+            bandwidth_mbps=config.migration_bandwidth_mbps
+        )
+        self.migration_energy_wh = 0.0
+
+        self.evac_pac_cfg = PACConfig(
+            minslack=MinSlackConfig(
+                epsilon_ghz=config.minslack_epsilon_ghz,
+                max_steps=config.minslack_max_steps,
+                prune=config.minslack_prune,
+            ),
+            target_utilization=config.target_utilization,
+            incremental=config.incremental,
+        )
+        self.relief_config = OnDemandConfig(
+            target_utilization=config.target_utilization,
+            receiver_utilization=config.target_utilization,
+        )
+        self.relief_moves = 0
+        self.forecaster: Optional[DemandForecaster] = None
+        if config.provisioning == "ewma_peak":
+            self.forecaster = EwmaPeakForecaster(self.n_vms)
+        elif config.provisioning == "holt":
+            self.forecaster = HoltForecaster(self.n_vms)
+        self.static_peak = config.scheme == "static_peak"
+
+    # -- engine wiring -------------------------------------------------
+
+    @property
+    def n_periods(self) -> int:
+        return self.n_steps
+
+    @property
+    def period_s(self) -> float:
+        return float(self.dt_s)
+
+    def phases(self) -> List[Phase]:
+        """The per-step pipeline, in legacy-loop order."""
+        return [
+            Phase("sense", self.sense),
+            Phase("faults", self.inject),
+            Phase("sysid", self.update_model),
+            Phase("optimize", self.maybe_optimize),
+            Phase("actuate", self.actuate),
+        ]
+
+    def start(self) -> None:
+        """Uniform begin-run hook (scenario/CLI entry): the run header."""
+        self.emit_run_config()
+
+    def emit_run_config(self) -> None:
+        """The run-header log line + telemetry event (fresh starts only)."""
+        tel = get_telemetry()
+        logger.info(
+            "largescale run: scheme=%s, %d VMs on %d servers, %d steps of %.0fs",
+            self.config.scheme, self.n_vms, self.n_srv, self.n_steps, self.dt_s,
+        )
+        tel.event(
+            "run_config",
+            harness="largescale",
+            scheme=self.config.scheme,
+            n_vms=self.n_vms,
+            n_servers=self.n_srv,
+            n_steps=self.n_steps,
+            step_s=self.dt_s,
+            dvfs=self.config.dvfs_enabled,
+            provisioning=self.config.provisioning,
+            seed=self.config.seed,
+        )
+
+    # -- phase bodies (split from the legacy loop, order preserved) ----
+
+    def sense(self, ctx: PeriodContext) -> None:
+        """Read the trace: this step's per-VM demand vector."""
+        ctx.data["demand_now"] = self.demands[:, ctx.k]
+
+    def inject(self, ctx: PeriodContext) -> None:
+        """Apply every fault begin/end due at this trace step."""
+        if self.fault_timeline is not None:
+            self._apply_fault_transitions(ctx.k, ctx.data["demand_now"])
+
+    def update_model(self, ctx: PeriodContext) -> None:
+        """Feed the demand forecaster (sysid of the demand process)."""
+        if self.forecaster is not None:
+            self.forecaster.update(ctx.data["demand_now"])
+
+    def maybe_optimize(self, ctx: PeriodContext) -> None:
+        """Consolidation epochs + between-epoch on-demand relief."""
+        config = self.config
+        step = ctx.k
+        demand_now = ctx.data["demand_now"]
+        tel = get_telemetry()
+        if step == 0 and self.static_peak:
+            # One conservative placement against the whole-trace peak.
+            plan = self._invoke_optimizer(
+                self._build_problem(self.demands.max(axis=1)), 0.0
+            )
+            self.migrations += plan.n_moves
+            self.migration_energy_wh += self._migration_energy(plan)
+            self.assignment = self._apply_mapping(plan.final_mapping)
+        elif not self.static_peak and step % config.optimize_every_steps == 0:
+            demand_for_packing = demand_now
+            if self.forecaster is not None:
+                demand_for_packing = np.maximum(
+                    demand_now,
+                    self.forecaster.forecast_peak(config.optimize_every_steps),
+                )
+                demand_for_packing = np.minimum(demand_for_packing, self.peaks)
+            plan = self._invoke_optimizer(
+                self._build_problem(demand_for_packing), step * self.dt_s
+            )
+            self.migrations += plan.n_moves
+            self.migration_energy_wh += self._migration_energy(plan)
+            self.assignment = self._apply_mapping(plan.final_mapping, step * self.dt_s)
+        elif config.ondemand_relief:
+            placed_now = self.assignment >= 0
+            loads_now = np.bincount(
+                self.assignment[placed_now], weights=demand_now[placed_now],
+                minlength=self.n_srv,
+            )
+            if np.any(loads_now > self.srv_max_cap + 1e-9):
+                with tel.span("largescale.relief"):
+                    plan = relieve_overloads(
+                        self._build_problem(demand_now), self.relief_config
+                    )
+                self.relief_moves += plan.n_moves
+                self.migration_energy_wh += self._migration_energy(plan)
+                self.assignment = self._apply_mapping(
+                    plan.final_mapping, step * self.dt_s
+                )
+                tel.event(
+                    "relief", time_s=step * self.dt_s, moves=plan.n_moves,
+                )
+
+    def actuate(self, ctx: PeriodContext) -> None:
+        """DVFS selection + power/energy accounting + step telemetry."""
+        config = self.config
+        step = ctx.k
+        demand_now = ctx.data["demand_now"]
+        n_srv = self.n_srv
+        tel = get_telemetry()
+
+        placed = self.assignment >= 0
+        self.unplaced_vm_steps += int(np.count_nonzero(~placed))
+        loads = np.bincount(
+            self.assignment[placed], weights=demand_now[placed], minlength=n_srv
+        )
+        hosting_mask = (
+            np.bincount(self.assignment[placed], minlength=n_srv) > 0
+        )
+
+        # DVFS: lowest level covering load / headroom (or pinned at max).
+        # Under a thermal throttle every level delivers only srv_frac of
+        # its nominal capacity, so the selection works in nominal terms
+        # (needed / frac) and the chosen capacity is scaled back down.
+        eff_max = (
+            self.srv_max_cap if config.faults is None
+            else self.srv_max_cap * self.srv_frac
+        )
+        cap = eff_max.copy()
+        freq_ratio = np.ones(n_srv)
+        if self.dvfs_on:
+            needed = loads / config.arbitrator_headroom
+            if config.faults is not None:
+                needed = needed / np.maximum(self.srv_frac, 1e-9)
+            for idx, caps in self.group_index:
+                level = np.searchsorted(caps, needed[idx] - 1e-9, side="left")
+                level = np.minimum(level, len(caps) - 1)
+                cap[idx] = caps[level]
+            if config.faults is not None:
+                cap = cap * self.srv_frac
+            # cap = freq * cores; ratio = nominal cap / nominal max cap.
+            freq_ratio = cap / eff_max
+
+        overload = loads > eff_max + 1e-9
+        self.overload_server_steps += int(np.count_nonzero(overload & hosting_mask))
+        util = np.minimum(loads / np.maximum(cap, 1e-12), 1.0)
+        scale = freq_ratio**self.srv_exp
+        idle_f = self.srv_idle * (1.0 - self.srv_kidle * (1.0 - scale))
+        power = idle_f + (self.srv_busy - self.srv_idle) * scale * util
+        power_total = float(power[hosting_mask].sum())
+        self.power_series[step] = power_total
+        self.active_series[step] = int(np.count_nonzero(hosting_mask))
+        self.total_energy_wh += power_total * self.dt_s / 3600.0
+        if tel.enabled:
+            time_s = step * self.dt_s
+            # One event per server power transition (on <-> off).
+            changed = np.nonzero(hosting_mask != self.prev_hosting)[0]
+            for i in changed:
+                tel.event(
+                    "server_power",
+                    time_s=time_s,
+                    server=self.idx_to_sid[i],
+                    state="on" if hosting_mask[i] else "off",
+                )
+            self.prev_hosting = hosting_mask.copy()
+            tel.event(
+                "largescale.step",
+                time_s=time_s,
+                power_w=power_total,
+                active_servers=int(self.active_series[step]),
+                overloaded_servers=int(np.count_nonzero(overload & hosting_mask)),
+            )
+
+    # -- internals (verbatim from the legacy harness) ------------------
+
+    def _invoke_optimizer(
+        self, problem: PlacementProblem, time_s: float
+    ) -> PlacementPlan:
+        """Run the consolidation optimizer, traced + logged per invocation."""
+        tel = get_telemetry()
+        config = self.config
+        with tel.span("largescale.optimize", scheme=config.scheme) as sp:
+            plan = self.optimizer(problem)
+            sp.annotate(moves=plan.n_moves, unplaced=len(plan.unplaced))
+        if tel.enabled:
+            tel.count("optimizer.invocations")
+            tel.count("optimizer.migrations", plan.n_moves)
+            tel.event(
+                "optimizer_invocation",
+                time_s=time_s,
+                moves=plan.n_moves,
+                wake=len(plan.wake),
+                sleep=len(plan.sleep),
+                unplaced=len(plan.unplaced),
+                info=dict(plan.info),
+            )
+        logger.debug(
+            "optimizer t=%.0fs: %d moves, wake %d, sleep %d",
+            time_s, plan.n_moves, len(plan.wake), len(plan.sleep),
+        )
+        return plan
+
+    def _build_problem(self, demand_now: np.ndarray) -> PlacementProblem:
+        config = self.config
+        vm_infos = make_vm_infos(self.vm_ids, demand_now, self.memories)
+        mapping = {
+            self.vm_ids[j]: self.idx_to_sid[self.assignment[j]]
+            for j in range(self.n_vms)
+            if self.assignment[j] >= 0
+        }
+        hosting = set(mapping.values())
+        if config.faults is not None:
+            # Crashed servers disappear from the snapshot; throttled
+            # ones shrink (capacity and efficiency scale together).
+            infos = tuple(
+                ServerInfo(
+                    si.server_id, si.max_capacity_ghz * self.srv_frac[i],
+                    si.memory_mb, si.efficiency * self.srv_frac[i],
+                    si.server_id in hosting,
+                    si.idle_w, si.busy_w, si.sleep_w,
+                )
+                for i, si in enumerate(self.server_infos)
+                if not self.srv_failed[i]
+            )
+            return PlacementProblem(infos, vm_infos, mapping)
+        # Fault-free fast lane: select the prebuilt on/off snapshot per
+        # server; the invariants hold by construction, so skip the
+        # O(n) re-validation and attach the precomputed packing order.
+        infos = tuple(
+            self.server_infos_on[i] if self.idx_to_sid[i] in hosting
+            else self.server_infos[i]
+            for i in range(self.n_srv)
+        )
+        return PlacementProblem.trusted(
+            infos,
+            vm_infos,
+            mapping,
+            servers_sorted=tuple(infos[i] for i in self.eff_order),
+        )
+
+    def _apply_mapping(
+        self, final_mapping: Dict[str, str], time_s: float = 0.0
+    ) -> np.ndarray:
+        tel = get_telemetry()
+        new_assignment = np.full(self.n_vms, -1, dtype=int)
+        for vm_id, sid in final_mapping.items():
+            new_assignment[self.sid_to_vmidx[vm_id]] = self.sid_to_idx[sid]
+        if self.active_migration_faults:
+            moved = np.nonzero(
+                (self.assignment >= 0)
+                & (new_assignment >= 0)
+                & (self.assignment != new_assignment)
+            )[0]
+            for j in moved:
+                for ev in self.active_migration_faults:
+                    if self.fault_rng.random() < ev.probability:
+                        tel.count("faults.migrations_disrupted")
+                        tel.event(
+                            "migration_failed",
+                            time_s=time_s,
+                            vm=self.vm_ids[j],
+                            source=self.idx_to_sid[self.assignment[j]],
+                            target=self.idx_to_sid[new_assignment[j]],
+                        )
+                        new_assignment[j] = self.assignment[j]  # stays on source
+                        break
+        return new_assignment
+
+    def _migration_energy(self, plan: PlacementPlan) -> float:
+        """Source+target burn ``migration_overhead_w`` for each transfer."""
+        total_s = sum(
+            self.migration_model.duration_s(self.memories[self.sid_to_vmidx[m.vm_id]])
+            for m in plan.migrations
+            if m.source_id is not None
+        )
+        return 2.0 * self.config.migration_overhead_w * total_s / 3600.0
+
+    def _apply_fault_transitions(self, step: int, demand_now: np.ndarray) -> None:
+        """Perform every fault begin/end due at this trace step."""
+        tel = get_telemetry()
+        time_s = step * self.dt_s
+        for tr in self.fault_timeline.advance(time_s):
+            ev = tr.event
+            i = self.sid_to_idx.get(ev.target) if ev.target is not None else None
+            if ev.target is not None and i is None:
+                logger.warning("fault targets unknown server %s; skipped", ev.target)
+                continue
+            if tr.phase == "begin":
+                if ev.kind == "server_crash":
+                    self.srv_failed[i] = True
+                    evicted_idx = np.nonzero(self.assignment == i)[0]
+                    self.assignment[evicted_idx] = -1
+                    evicted = [self.vm_ids[j] for j in evicted_idx]
+                    tel.count("faults.injected")
+                    tel.event(
+                        "fault_injected", time_s=time_s, fault=ev.kind,
+                        target=ev.target, duration_s=ev.duration_s,
+                        evicted=evicted,
+                    )
+                    logger.warning(
+                        "fault t=%.0fs: server %s crashed, %d VMs evicted",
+                        time_s, ev.target, len(evicted),
+                    )
+                    if evicted:
+                        # Emergency evacuation: Minimum Slack onto the
+                        # survivors, without waiting for the optimizer.
+                        plan = pac(
+                            self._build_problem(demand_now), evicted,
+                            self.evac_pac_cfg,
+                        )
+                        self.assignment = self._apply_mapping(
+                            plan.final_mapping, time_s
+                        )
+                        tel.count("manager.evacuations")
+                        tel.count("manager.evacuated_vms", len(evicted))
+                        tel.event(
+                            "evacuation", time_s=time_s, server=ev.target,
+                            vms=evicted,
+                            placed=[
+                                v for v in evicted if v in plan.final_mapping
+                            ],
+                            unplaced=list(plan.unplaced),
+                            woke=list(plan.wake),
+                        )
+                elif ev.kind == "server_recovery":
+                    self.srv_failed[i] = False
+                    self.srv_frac[i] = 1.0
+                    tel.count("faults.recovered")
+                    tel.event(
+                        "fault_recovered", time_s=time_s,
+                        fault="server_crash", target=ev.target,
+                    )
+                elif ev.kind == "thermal_throttle":
+                    self.srv_frac[i] = ev.fraction
+                    tel.count("faults.injected")
+                    tel.event(
+                        "fault_injected", time_s=time_s, fault=ev.kind,
+                        target=ev.target, duration_s=ev.duration_s,
+                        fraction=ev.fraction,
+                    )
+                elif ev.kind == "migration_failure":
+                    self.active_migration_faults.append(ev)
+                    tel.count("faults.injected")
+                    tel.event(
+                        "fault_injected", time_s=time_s, fault=ev.kind,
+                        target=ev.target, duration_s=ev.duration_s,
+                        probability=ev.probability,
+                    )
+                else:  # sensor faults: no response-time sensor here
+                    logger.warning(
+                        "fault %s has no effect in the trace-driven harness",
+                        ev.kind,
+                    )
+            else:  # end
+                if ev.kind == "server_crash":
+                    self.srv_failed[i] = False
+                    self.srv_frac[i] = 1.0
+                elif ev.kind == "thermal_throttle":
+                    self.srv_frac[i] = 1.0
+                elif ev.kind == "migration_failure":
+                    self.active_migration_faults.remove(ev)
+                elif ev.kind in ("sensor_dropout", "sensor_noise"):
+                    continue
+                tel.count("faults.recovered")
+                tel.event(
+                    "fault_recovered", time_s=time_s, fault=ev.kind,
+                    target=ev.target,
+                )
+
+    # -- results -------------------------------------------------------
+
+    def result(self) -> "LargeScaleResult":
+        """Final aggregates (call once, after the engine finished)."""
+        from repro.sim.largescale import LargeScaleResult
+
+        total_energy_wh = self.total_energy_wh + self.migration_energy_wh
+        logger.info(
+            "largescale run complete: %.1f Wh total (%.2f Wh/VM), %d migrations, "
+            "%d overloaded server-steps",
+            total_energy_wh, total_energy_wh / self.n_vms, self.migrations,
+            self.overload_server_steps,
+        )
+        return LargeScaleResult(
+            scheme=self.config.scheme,
+            n_vms=self.n_vms,
+            n_steps=self.n_steps,
+            step_s=self.dt_s,
+            total_energy_wh=total_energy_wh,
+            energy_per_vm_wh=total_energy_wh / self.n_vms,
+            migrations=self.migrations,
+            mean_active_servers=float(self.active_series.mean()),
+            max_active_servers=int(self.active_series.max()),
+            overload_server_steps=self.overload_server_steps,
+            unplaced_vm_steps=self.unplaced_vm_steps,
+            power_series_w=self.power_series,
+            active_series=self.active_series,
+            info={
+                "dvfs": float(self.dvfs_on),
+                "relief_moves": float(self.relief_moves),
+                "migration_energy_wh": self.migration_energy_wh,
+            },
+        )
+
+    # -- checkpointing -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Full mutable state, JSON-safe (see restore notes in module doc)."""
+        schedule = self.config.faults
+        # The un-executed suffix of the preallocated series buffers is
+        # uninitialized memory; zero it so the document stays JSON-safe
+        # (the suffix is overwritten as the resumed run executes).
+        power_snap = np.where(np.isfinite(self.power_series), self.power_series, 0.0)
+        state: Dict[str, Any] = {
+            "peaks": encode_array(self.peaks),
+            "memories": encode_array(self.memories),
+            "assignment": encode_array(self.assignment),
+            "prev_hosting": encode_array(self.prev_hosting),
+            "migrations": self.migrations,
+            "overload_server_steps": self.overload_server_steps,
+            "unplaced_vm_steps": self.unplaced_vm_steps,
+            "total_energy_wh": self.total_energy_wh,
+            "migration_energy_wh": self.migration_energy_wh,
+            "relief_moves": self.relief_moves,
+            "power_series": encode_array(power_snap),
+            "active_series": encode_array(self.active_series),
+            "srv_frac": encode_array(self.srv_frac),
+            "srv_failed": encode_array(self.srv_failed),
+        }
+        if self.forecaster is not None:
+            state["forecaster"] = self.forecaster.state_dict()
+        if schedule is not None:
+            state["fault_cursor"] = self.fault_timeline.state_dict()
+            state["fault_rng"] = encode_rng(self.fault_rng)
+            state["active_migration_faults"] = [
+                schedule.events.index(ev) for ev in self.active_migration_faults
+            ]
+        return state
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        require_fields(
+            state,
+            [
+                "peaks", "memories", "assignment", "prev_hosting", "migrations",
+                "overload_server_steps", "unplaced_vm_steps", "total_energy_wh",
+                "migration_energy_wh", "relief_moves", "power_series",
+                "active_series", "srv_frac", "srv_failed",
+            ],
+            "largescale backend",
+        )
+        peaks = decode_array(state["peaks"])
+        if peaks.shape != self.peaks.shape:
+            raise CheckpointError(
+                f"checkpoint has {peaks.shape[0]} VMs, this run has "
+                f"{self.peaks.shape[0]}"
+            )
+        # peaks/memories are drawn at build time; a mismatch means the
+        # resume was built with a different trace/config/rng.
+        if not np.array_equal(peaks, self.peaks):
+            raise CheckpointError(
+                "checkpoint peaks differ from this build's peaks: resume "
+                "with the same trace, config, and rng"
+            )
+        self.memories = decode_array(state["memories"])
+        self.assignment = decode_array(state["assignment"])
+        self.prev_hosting = decode_array(state["prev_hosting"])
+        self.migrations = int(state["migrations"])
+        self.overload_server_steps = int(state["overload_server_steps"])
+        self.unplaced_vm_steps = int(state["unplaced_vm_steps"])
+        self.total_energy_wh = float(state["total_energy_wh"])
+        self.migration_energy_wh = float(state["migration_energy_wh"])
+        self.relief_moves = int(state["relief_moves"])
+        self.power_series = decode_array(state["power_series"])
+        self.active_series = decode_array(state["active_series"])
+        self.srv_frac = decode_array(state["srv_frac"])
+        self.srv_failed = decode_array(state["srv_failed"])
+        if self.forecaster is not None:
+            if "forecaster" not in state:
+                raise ValueError("checkpoint lacks forecaster state")
+            self.forecaster.load_state_dict(state["forecaster"])
+        schedule = self.config.faults
+        if schedule is not None:
+            require_fields(
+                state, ["fault_cursor", "fault_rng"], "largescale fault"
+            )
+            self.fault_timeline.load_state_dict(state["fault_cursor"])
+            self.fault_rng = decode_rng(state["fault_rng"])
+            self.active_migration_faults = [
+                schedule.events[i]
+                for i in state.get("active_migration_faults", [])
+            ]
+
+
+def build_largescale_engine(
+    trace: UtilizationTrace,
+    config: Optional["LargeScaleConfig"] = None,
+    servers: Optional[Sequence[Server]] = None,
+    rng: RngLike = None,
+    optimizer: Optional[Callable[[PlacementProblem], PlacementPlan]] = None,
+) -> "tuple[ControlPlane, LargeScaleBackend]":
+    """Build the kernel + backend pair for one large-scale run."""
+    from repro.sim.largescale import LargeScaleConfig
+
+    config = config or LargeScaleConfig()
+    backend = LargeScaleBackend(
+        trace, config, servers=servers, rng=rng, optimizer=optimizer
+    )
+    engine = ControlPlane(
+        period_s=backend.period_s,
+        n_periods=backend.n_periods,
+        phases=backend.phases(),
+        checkpointables={"plant": backend},
+        name="largescale",
+    )
+    return engine, backend

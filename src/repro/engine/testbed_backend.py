@@ -1,0 +1,308 @@
+"""Kernel backend for the simulated hardware testbed.
+
+This is the request-level DES plant behind
+:class:`repro.sim.testbed.TestbedExperiment` (paper §VI-A, Figs. 2-5),
+restructured as :class:`ControlPlane` phases:
+
+``faults`` (injector transitions + plant degradation) → ``optimize``
+(data-center optimizer epochs at scheduled times) → ``sense`` (workload
+levels take effect, plants simulate one period, response times and CPU
+usage are measured) → ``actuate`` (power accounting under the
+frequencies in effect) → ``control`` (sensor-fault filtering, the
+``PowerManager`` control step: controllers → arbitrators → allocations
+pushed into the plants).
+
+The phase bodies are the legacy loop body, split — not rewritten — so a
+kernel-driven run is bit-identical to the pre-kernel harness (pinned by
+golden hashes in ``tests/test_engine.py`` / ``tests/test_perf_fastpath.py``).
+
+Checkpoint / resume
+-------------------
+The plant is a discrete-event simulation with in-flight request
+processes — state that has no JSON form.  The backend therefore declares
+``resume_strategy = "replay"``: :meth:`ControlPlane.restore` re-executes
+the prefix with telemetry muted (bit-identical computation, no emission)
+and then calls :meth:`TestbedBackend.load_state_dict`, which *verifies*
+the replayed controller state, placement, server state, and fault cursor
+against the checkpoint instead of assigning them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.engine.kernel import CheckpointError, ControlPlane, PeriodContext, Phase
+from repro.faults import FaultInjector
+from repro.obs import get_telemetry
+from repro.sim.metrics import SeriesRecorder
+from repro.util.rng import RngLike
+
+if False:  # typing-only import without a cycle at runtime
+    from repro.sim.testbed import TestbedConfig, TestbedExperiment, TestbedResult
+
+__all__ = ["TestbedBackend", "build_testbed_engine"]
+
+logger = logging.getLogger(__name__)
+
+
+class TestbedBackend:
+    """DES testbed plant + its control-plane phases."""
+
+    resume_strategy = "replay"
+
+    def __init__(self, experiment: "TestbedExperiment", rng: RngLike = None):
+        from repro.apps.workload import ConstantWorkload
+
+        self.experiment = experiment
+        cfg = self.config = experiment.config
+        self.dc, self.manager, self.plants = experiment.build(rng)
+        self.recorder = SeriesRecorder()
+        self.workloads = {
+            i: cfg.workloads.get(i, ConstantWorkload(cfg.concurrency))
+            for i in range(cfg.n_apps)
+        }
+        self.evacuated_vms: set = set()
+        self.injector: Optional[FaultInjector] = None
+        if cfg.faults:
+            def _on_evacuate(server_id: str, vm_ids: List[str], t: float) -> None:
+                self.evacuated_vms.update(vm_ids)
+                self.manager.emergency_evacuate(server_id, vm_ids, time_s=t)
+
+            self.injector = FaultInjector(
+                self.dc, cfg.faults, on_evacuate=_on_evacuate
+            )
+        self.optimize_times = sorted(float(t) for t in cfg.optimize_at_s)
+        self._started = False
+
+    # -- engine wiring -------------------------------------------------
+
+    @property
+    def n_periods(self) -> int:
+        return int(round(self.config.duration_s / self.config.control_period_s))
+
+    @property
+    def period_s(self) -> float:
+        return float(self.config.control_period_s)
+
+    def phases(self) -> List[Phase]:
+        """The per-period pipeline, in legacy-loop order."""
+        return [
+            Phase("faults", self.inject),
+            Phase("optimize", self.maybe_optimize),
+            Phase("sense", self.sense),
+            Phase("actuate", self.actuate),
+            Phase("control", self.control),
+        ]
+
+    def start(self) -> None:
+        """Run-header event + plant warmup; call once, before stepping."""
+        if self._started:
+            return
+        self._started = True
+        cfg = self.config
+        tel = get_telemetry()
+        logger.info(
+            "testbed run: %d apps on %d servers, %.0fs at %.0fs periods, "
+            "setpoint %.0f ms",
+            cfg.n_apps, cfg.n_servers, cfg.duration_s, cfg.control_period_s,
+            cfg.setpoint_ms,
+        )
+        tel.event(
+            "run_config",
+            harness="testbed",
+            n_apps=cfg.n_apps,
+            n_servers=cfg.n_servers,
+            duration_s=cfg.duration_s,
+            control_period_s=cfg.control_period_s,
+            setpoint_ms=cfg.setpoint_ms,
+            controlled=cfg.controlled,
+            seed=cfg.seed,
+        )
+        for plant in self.plants:
+            plant.warmup(cfg.warmup_s)
+
+    def prepare_replay(self) -> None:
+        """Replay-resume hook: the warmup is part of the replayed prefix."""
+        self.start()
+
+    # -- phase bodies (split from the legacy loop, order preserved) ----
+
+    def inject(self, ctx: PeriodContext) -> None:
+        """Fault transitions due this period (crashes trigger the
+        manager's emergency evacuation inside the step)."""
+        if self.injector is not None:
+            self.injector.step(ctx.time_s)
+            self.experiment._sync_plant_faults(
+                self.dc, self.plants, self.evacuated_vms
+            )
+
+    def maybe_optimize(self, ctx: PeriodContext) -> None:
+        """Long-time-scale optimizer invocations (integrated mode)."""
+        now = ctx.time_s
+        while self.optimize_times and self.optimize_times[0] <= now:
+            self.optimize_times.pop(0)
+            plan = self.manager.optimize(time_s=now)
+            self.recorder.record("optimizer/moves", now, plan.n_moves)
+            self.recorder.record(
+                "optimizer/active_servers", now, len(self.dc.active_servers())
+            )
+
+    def sense(self, ctx: PeriodContext) -> None:
+        """Workload levels take effect, then plants run one period and
+        report measured response times and per-tier CPU usage."""
+        cfg = self.config
+        now = ctx.time_s
+        for i, plant in enumerate(self.plants):
+            level = self.workloads[i].level(now)
+            if level != plant.concurrency:
+                plant.set_concurrency(level)
+        used_by_server: Dict[str, float] = {s: 0.0 for s in self.dc.servers}
+        for i, plant in enumerate(self.plants):
+            stats = plant.run_period(cfg.control_period_s)
+            measurement = stats.metric(cfg.sla_metric)
+            ctx.measurements[f"app{i}"] = measurement
+            self.recorder.record(f"rt/app{i}", now, measurement)
+            used = plant.used_ghz(cfg.control_period_s)
+            ctx.usages[f"app{i}"] = used
+            app = self.dc.applications[f"app{i}"]
+            for j, vm_id in enumerate(app.vm_ids):
+                sid = self.dc.server_of(vm_id)
+                if sid is not None:  # evicted-and-unplaced VMs burn nothing
+                    used_by_server[sid] += float(used[j])
+        ctx.data["used_by_server"] = used_by_server
+
+    def actuate(self, ctx: PeriodContext) -> None:
+        """Power with the frequencies in effect during this period."""
+        now = ctx.time_s
+        used_by_server = ctx.data["used_by_server"]
+        total_power = sum(
+            server.power_w(used_by_server[sid])
+            for sid, server in self.dc.servers.items()
+        )
+        self.recorder.record("power/total", now, total_power)
+        for sid, server in self.dc.servers.items():
+            self.recorder.record(f"freq/{sid}", now, server.freq_ghz)
+        get_telemetry().event(
+            "testbed.period",
+            time_s=now,
+            power_w=total_power,
+            active_servers=len(self.dc.active_servers()),
+        )
+
+    def control(self, ctx: PeriodContext) -> None:
+        """Controllers + arbitrators set next period's allocations."""
+        cfg = self.config
+        now = ctx.time_s
+        measurements = ctx.measurements
+        if self.injector is not None:
+            measurements = self.injector.filter_measurements(measurements)
+        if cfg.controlled:
+            step = self.manager.control_step(
+                measurements, used_ghz=ctx.usages, time_s=now
+            )
+            for i in range(cfg.n_apps):
+                granted = step.granted_ghz[f"app{i}"]
+                for j in range(2):
+                    self.recorder.record(f"alloc/app{i}/tier{j}", now, granted[j])
+
+    # -- results -------------------------------------------------------
+
+    def result(self) -> "TestbedResult":
+        """Final recorded series (call after the engine finished)."""
+        from repro.sim.testbed import TestbedResult
+
+        logger.info(
+            "testbed run complete: %d periods, mean power %.1f W",
+            self.n_periods, self.recorder.summary("power/total")["mean"],
+        )
+        return TestbedResult(
+            recorder=self.recorder,
+            model=self.experiment._shared_model,
+            sysid_r2=self.experiment._sysid_r2,
+        )
+
+    # -- checkpointing (replay verification) ---------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of the *verifiable* state at a period boundary.
+
+        The DES plants' in-flight state is deliberately absent (it has
+        no JSON form); resume re-derives it by deterministic replay and
+        this snapshot is what :meth:`load_state_dict` checks the replay
+        against: VM placement, server power state, the fault cursor, and
+        every controller's full control state.
+        """
+        state: Dict[str, Any] = {
+            "placement": {
+                vm_id: self.dc.server_of(vm_id) for vm_id in sorted(self.dc.vms)
+            },
+            "servers": {
+                sid: {
+                    "active": srv.active,
+                    "failed": srv.failed,
+                    "freq_ghz": float(srv.freq_ghz),
+                    "capacity_fraction": float(srv.capacity_fraction),
+                }
+                for sid, srv in sorted(self.dc.servers.items())
+            },
+            "controllers": {
+                app_id: ctl.state_dict()
+                for app_id, ctl in sorted(self.manager.controllers.items())
+            },
+            "optimize_times": list(self.optimize_times),
+            "evacuated_vms": sorted(self.evacuated_vms),
+        }
+        if self.injector is not None:
+            state["fault_cursor"] = self.injector.timeline.state_dict()
+        return state
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Verify the replayed state matches the checkpoint.
+
+        Replay already rebuilt the state by re-execution; a mismatch
+        means the resumed run was built with a different config, model,
+        or seed than the one the checkpoint came from.
+        """
+        current = json.loads(json.dumps(self.state_dict(), sort_keys=True))
+        expected = json.loads(json.dumps(dict(state), sort_keys=True))
+        if current != expected:
+            bad = sorted(
+                key
+                for key in set(current) | set(expected)
+                if current.get(key) != expected.get(key)
+            )
+            raise CheckpointError(
+                "replayed testbed state does not match the checkpoint in "
+                f"{bad}; resume with the run's original config, model, and seed"
+            )
+
+
+def build_testbed_engine(
+    config: "Optional[TestbedConfig]" = None,
+    model: Any = None,
+    rng: RngLike = None,
+    experiment: "Optional[TestbedExperiment]" = None,
+) -> "tuple[ControlPlane, TestbedBackend]":
+    """Build the kernel + backend pair for one testbed run.
+
+    Call ``backend.start()`` (run-config event + plant warmup) before
+    ``engine.run()``; skip it when restoring — replay resume triggers
+    it, muted, through :meth:`TestbedBackend.prepare_replay`.  Pass
+    ``experiment`` to reuse an existing :class:`TestbedExperiment` (and
+    its cached identified model) instead of ``config``/``model``.
+    """
+    from repro.sim.testbed import TestbedExperiment
+
+    if experiment is None:
+        experiment = TestbedExperiment(config, model)
+    backend = TestbedBackend(experiment, rng=rng)
+    engine = ControlPlane(
+        period_s=backend.period_s,
+        n_periods=backend.n_periods,
+        phases=backend.phases(),
+        checkpointables={"plant": backend},
+        name="testbed",
+    )
+    return engine, backend

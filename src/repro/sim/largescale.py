@@ -25,30 +25,16 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.catalog import STANDARD_SERVER_TYPES, make_server_pool
-from repro.cluster.migration import LiveMigrationModel
 from repro.cluster.server import Server
-from repro.core.optimizer.ipac import IPACConfig, ipac
-from repro.core.optimizer.minslack import MinSlackConfig
-from repro.core.optimizer.ondemand import OnDemandConfig, relieve_overloads
-from repro.core.optimizer.pac import PACConfig, pac
-from repro.core.optimizer.pmapper import PMapperConfig, pmapper
-from repro.core.optimizer.types import (
-    PlacementPlan,
-    PlacementProblem,
-    ServerInfo,
-    make_vm_infos,
-)
+from repro.core.optimizer.types import PlacementPlan, PlacementProblem
 from repro.faults import FaultSchedule
-from repro.obs import get_telemetry
-from repro.traces.forecast import DemandForecaster, EwmaPeakForecaster, HoltForecaster
 from repro.traces.trace import UtilizationTrace
-from repro.util.rng import RngLike, ensure_rng
-from repro.util.validation import check_in_range, check_positive
+from repro.util.rng import RngLike
+from repro.util.validation import check_in_range
 
 __all__ = ["LargeScaleConfig", "LargeScaleResult", "run_largescale"]
 
@@ -175,25 +161,6 @@ class LargeScaleResult:
     info: Dict[str, float] = field(default_factory=dict)
 
 
-def _build_optimizer(config: LargeScaleConfig) -> Callable[[PlacementProblem], PlacementPlan]:
-    pac_cfg = PACConfig(
-        minslack=MinSlackConfig(
-            epsilon_ghz=config.minslack_epsilon_ghz,
-            max_steps=config.minslack_max_steps,
-            prune=config.minslack_prune,
-        ),
-        target_utilization=config.target_utilization,
-        incremental=config.incremental,
-    )
-    if config.scheme == "ipac":
-        ipac_cfg = IPACConfig(pac=pac_cfg)
-        return lambda p: ipac(p, ipac_cfg)
-    if config.scheme in ("pac", "static_peak"):
-        return lambda p: pac(p, None, pac_cfg)
-    pm_cfg = PMapperConfig(target_utilization=config.target_utilization)
-    return lambda p: pmapper(p, pm_cfg)
-
-
 def run_largescale(
     trace: UtilizationTrace,
     config: LargeScaleConfig | None = None,
@@ -209,455 +176,19 @@ def run_largescale(
     see the same hardware either way.  ``optimizer`` overrides the
     scheme-derived consolidation callable (for ablations with custom
     IPAC configurations, cost policies, or entirely new algorithms).
+
+    This is a thin configuration of the control-plane kernel: it builds
+    a :class:`repro.engine.largescale_backend.LargeScaleBackend`, runs
+    the :class:`repro.engine.ControlPlane` to completion, and returns
+    the backend's aggregates.  Use
+    :func:`repro.engine.build_largescale_engine` directly for stepwise
+    execution or checkpoint/resume.
     """
-    config = config or LargeScaleConfig()
-    generator = ensure_rng(rng if rng is not None else config.seed)
-    if config.n_vms > trace.n_series:
-        raise ValueError(
-            f"trace has {trace.n_series} series < n_vms={config.n_vms}"
-        )
-    sub = trace.subset(config.n_vms)
-    peaks = generator.uniform(*config.vm_peak_range_ghz, size=config.n_vms)
-    memories = generator.choice(
-        np.asarray(config.vm_memory_choices_mb, dtype=float), size=config.n_vms
+    from repro.engine.largescale_backend import build_largescale_engine
+
+    engine, backend = build_largescale_engine(
+        trace, config, servers=servers, rng=rng, optimizer=optimizer
     )
-    demands = sub.demands_ghz(peaks)  # (n_vms, n_steps)
-    n_vms, n_steps = demands.shape
-    dt_s = sub.interval_s
-
-    if servers is None:
-        servers = make_server_pool(
-            config.n_servers,
-            STANDARD_SERVER_TYPES,
-            rng=np.random.default_rng(config.seed + 1),
-            type_weights=config.type_weights,
-        )
-    server_list = list(servers)
-    n_srv = len(server_list)
-
-    # Static per-server arrays.
-    srv_max_cap = np.asarray([s.spec.max_capacity_ghz for s in server_list])
-    srv_mem = np.asarray([float(s.spec.memory_mb) for s in server_list])
-    srv_idle = np.asarray([s.spec.power.idle_w for s in server_list])
-    srv_busy = np.asarray([s.spec.power.busy_w for s in server_list])
-    srv_eff = np.asarray([s.spec.power_efficiency for s in server_list])
-    srv_sleep = np.asarray([s.spec.power.sleep_w for s in server_list])
-    srv_exp = np.asarray([s.spec.power.dvfs_exponent for s in server_list])
-    srv_kidle = np.asarray([s.spec.power.idle_dvfs_fraction for s in server_list])
-    srv_fmax = np.asarray([s.spec.cpu.max_freq_ghz for s in server_list])
-
-    # Group servers by spec for vectorized DVFS level selection.
-    spec_groups: Dict[int, List[int]] = {}
-    spec_caps: Dict[int, np.ndarray] = {}
-    for i, s in enumerate(server_list):
-        key = id(s.spec)
-        spec_groups.setdefault(key, []).append(i)
-        if key not in spec_caps:
-            spec_caps[key] = np.asarray(
-                [s.spec.cpu.capacity_at(f) for f in s.spec.cpu.freq_levels_ghz]
-            )
-    group_index = [(np.asarray(idx), spec_caps[key]) for key, idx in spec_groups.items()]
-
-    # Static optimizer views, prebuilt in both power states so the
-    # per-step snapshot only selects (never constructs) ServerInfo.
-    server_infos = tuple(
-        ServerInfo(
-            server_id=s.server_id,
-            max_capacity_ghz=srv_max_cap[i],
-            memory_mb=srv_mem[i],
-            efficiency=srv_eff[i],
-            active=False,
-            idle_w=srv_idle[i],
-            busy_w=srv_busy[i],
-            sleep_w=srv_sleep[i],
-        )
-        for i, s in enumerate(server_list)
-    )
-    server_infos_on = tuple(
-        ServerInfo(
-            si.server_id, si.max_capacity_ghz, si.memory_mb, si.efficiency,
-            True, si.idle_w, si.busy_w, si.sleep_w,
-        )
-        for si in server_infos
-    )
-    # Efficiency order as indices (the packing order is a property of
-    # the pool, not of the per-step active flags).
-    eff_order = sorted(
-        range(n_srv), key=lambda i: (-srv_eff[i], server_list[i].server_id)
-    )
-    vm_ids = [f"vm{j:05d}" for j in range(n_vms)]
-    sid_to_idx = {s.server_id: i for i, s in enumerate(server_list)}
-    idx_to_sid = [s.server_id for s in server_list]
-
-    if optimizer is None:
-        optimizer = _build_optimizer(config)
-    tel = get_telemetry()
-    logger.info(
-        "largescale run: scheme=%s, %d VMs on %d servers, %d steps of %.0fs",
-        config.scheme, n_vms, n_srv, n_steps, dt_s,
-    )
-    tel.event(
-        "run_config",
-        harness="largescale",
-        scheme=config.scheme,
-        n_vms=n_vms,
-        n_servers=n_srv,
-        n_steps=n_steps,
-        step_s=dt_s,
-        dvfs=config.dvfs_enabled,
-        provisioning=config.provisioning,
-        seed=config.seed,
-    )
-
-    def _invoke_optimizer(problem: PlacementProblem, time_s: float) -> PlacementPlan:
-        """Run the consolidation optimizer, traced + logged per invocation."""
-        with tel.span("largescale.optimize", scheme=config.scheme) as sp:
-            plan = optimizer(problem)
-            sp.annotate(moves=plan.n_moves, unplaced=len(plan.unplaced))
-        if tel.enabled:
-            tel.count("optimizer.invocations")
-            tel.count("optimizer.migrations", plan.n_moves)
-            tel.event(
-                "optimizer_invocation",
-                time_s=time_s,
-                moves=plan.n_moves,
-                wake=len(plan.wake),
-                sleep=len(plan.sleep),
-                unplaced=len(plan.unplaced),
-                info=dict(plan.info),
-            )
-        logger.debug(
-            "optimizer t=%.0fs: %d moves, wake %d, sleep %d",
-            time_s, plan.n_moves, len(plan.wake), len(plan.sleep),
-        )
-        return plan
-
-    assignment = np.full(n_vms, -1, dtype=int)  # server index per VM
-    prev_hosting = np.zeros(n_srv, dtype=bool)  # for power-transition events
-    migrations = 0
-    overload_server_steps = 0
-    unplaced_vm_steps = 0
-    power_series = np.empty(n_steps)
-    active_series = np.empty(n_steps, dtype=int)
-    total_energy_wh = 0.0
-    dvfs_on = config.dvfs_enabled
-
-    # Fault state (only consulted when a schedule is attached).
-    fault_timeline = config.faults.cursor() if config.faults else None
-    fault_rng = (
-        np.random.default_rng(config.faults.seed) if config.faults else None
-    )
-    srv_frac = np.ones(n_srv)  # thermal-throttle capacity fractions
-    srv_failed = np.zeros(n_srv, dtype=bool)
-    active_migration_faults: List = []
-
-    def _build_problem(demand_now: np.ndarray) -> PlacementProblem:
-        vm_infos = make_vm_infos(vm_ids, demand_now, memories)
-        mapping = {
-            vm_ids[j]: idx_to_sid[assignment[j]]
-            for j in range(n_vms)
-            if assignment[j] >= 0
-        }
-        hosting = set(mapping.values())
-        if config.faults is not None:
-            # Crashed servers disappear from the snapshot; throttled
-            # ones shrink (capacity and efficiency scale together).
-            infos = tuple(
-                ServerInfo(
-                    si.server_id, si.max_capacity_ghz * srv_frac[i],
-                    si.memory_mb, si.efficiency * srv_frac[i],
-                    si.server_id in hosting,
-                    si.idle_w, si.busy_w, si.sleep_w,
-                )
-                for i, si in enumerate(server_infos)
-                if not srv_failed[i]
-            )
-            return PlacementProblem(infos, vm_infos, mapping)
-        # Fault-free fast lane: select the prebuilt on/off snapshot per
-        # server; the invariants hold by construction, so skip the
-        # O(n) re-validation and attach the precomputed packing order.
-        infos = tuple(
-            server_infos_on[i] if idx_to_sid[i] in hosting else server_infos[i]
-            for i in range(n_srv)
-        )
-        return PlacementProblem.trusted(
-            infos,
-            vm_infos,
-            mapping,
-            servers_sorted=tuple(infos[i] for i in eff_order),
-        )
-
-    def _apply_mapping(
-        final_mapping: Dict[str, str], time_s: float = 0.0
-    ) -> np.ndarray:
-        new_assignment = np.full(n_vms, -1, dtype=int)
-        for vm_id, sid in final_mapping.items():
-            new_assignment[sid_to_vmidx[vm_id]] = sid_to_idx[sid]
-        if active_migration_faults:
-            moved = np.nonzero(
-                (assignment >= 0)
-                & (new_assignment >= 0)
-                & (assignment != new_assignment)
-            )[0]
-            for j in moved:
-                for ev in active_migration_faults:
-                    if fault_rng.random() < ev.probability:
-                        tel.count("faults.migrations_disrupted")
-                        tel.event(
-                            "migration_failed",
-                            time_s=time_s,
-                            vm=vm_ids[j],
-                            source=idx_to_sid[assignment[j]],
-                            target=idx_to_sid[new_assignment[j]],
-                        )
-                        new_assignment[j] = assignment[j]  # stays on source
-                        break
-        return new_assignment
-
-    migration_model = LiveMigrationModel(bandwidth_mbps=config.migration_bandwidth_mbps)
-    migration_energy_wh = 0.0
-
-    def _migration_energy(plan) -> float:
-        """Source+target burn ``migration_overhead_w`` for each transfer."""
-        total_s = sum(
-            migration_model.duration_s(memories[sid_to_vmidx[m.vm_id]])
-            for m in plan.migrations
-            if m.source_id is not None
-        )
-        return 2.0 * config.migration_overhead_w * total_s / 3600.0
-
-    evac_pac_cfg = PACConfig(
-        minslack=MinSlackConfig(
-            epsilon_ghz=config.minslack_epsilon_ghz,
-            max_steps=config.minslack_max_steps,
-            prune=config.minslack_prune,
-        ),
-        target_utilization=config.target_utilization,
-        incremental=config.incremental,
-    )
-
-    def _apply_fault_transitions(step: int, demand_now: np.ndarray) -> None:
-        """Perform every fault begin/end due at this trace step."""
-        nonlocal assignment
-        time_s = step * dt_s
-        for tr in fault_timeline.advance(time_s):
-            ev = tr.event
-            i = sid_to_idx.get(ev.target) if ev.target is not None else None
-            if ev.target is not None and i is None:
-                logger.warning("fault targets unknown server %s; skipped", ev.target)
-                continue
-            if tr.phase == "begin":
-                if ev.kind == "server_crash":
-                    srv_failed[i] = True
-                    evicted_idx = np.nonzero(assignment == i)[0]
-                    assignment[evicted_idx] = -1
-                    evicted = [vm_ids[j] for j in evicted_idx]
-                    tel.count("faults.injected")
-                    tel.event(
-                        "fault_injected", time_s=time_s, fault=ev.kind,
-                        target=ev.target, duration_s=ev.duration_s,
-                        evicted=evicted,
-                    )
-                    logger.warning(
-                        "fault t=%.0fs: server %s crashed, %d VMs evicted",
-                        time_s, ev.target, len(evicted),
-                    )
-                    if evicted:
-                        # Emergency evacuation: Minimum Slack onto the
-                        # survivors, without waiting for the optimizer.
-                        plan = pac(_build_problem(demand_now), evicted, evac_pac_cfg)
-                        assignment = _apply_mapping(plan.final_mapping, time_s)
-                        tel.count("manager.evacuations")
-                        tel.count("manager.evacuated_vms", len(evicted))
-                        tel.event(
-                            "evacuation", time_s=time_s, server=ev.target,
-                            vms=evicted,
-                            placed=[v for v in evicted if v in plan.final_mapping],
-                            unplaced=list(plan.unplaced),
-                            woke=list(plan.wake),
-                        )
-                elif ev.kind == "server_recovery":
-                    srv_failed[i] = False
-                    srv_frac[i] = 1.0
-                    tel.count("faults.recovered")
-                    tel.event(
-                        "fault_recovered", time_s=time_s,
-                        fault="server_crash", target=ev.target,
-                    )
-                elif ev.kind == "thermal_throttle":
-                    srv_frac[i] = ev.fraction
-                    tel.count("faults.injected")
-                    tel.event(
-                        "fault_injected", time_s=time_s, fault=ev.kind,
-                        target=ev.target, duration_s=ev.duration_s,
-                        fraction=ev.fraction,
-                    )
-                elif ev.kind == "migration_failure":
-                    active_migration_faults.append(ev)
-                    tel.count("faults.injected")
-                    tel.event(
-                        "fault_injected", time_s=time_s, fault=ev.kind,
-                        target=ev.target, duration_s=ev.duration_s,
-                        probability=ev.probability,
-                    )
-                else:  # sensor faults: no response-time sensor here
-                    logger.warning(
-                        "fault %s has no effect in the trace-driven harness",
-                        ev.kind,
-                    )
-            else:  # end
-                if ev.kind == "server_crash":
-                    srv_failed[i] = False
-                    srv_frac[i] = 1.0
-                elif ev.kind == "thermal_throttle":
-                    srv_frac[i] = 1.0
-                elif ev.kind == "migration_failure":
-                    active_migration_faults.remove(ev)
-                elif ev.kind in ("sensor_dropout", "sensor_noise"):
-                    continue
-                tel.count("faults.recovered")
-                tel.event(
-                    "fault_recovered", time_s=time_s, fault=ev.kind,
-                    target=ev.target,
-                )
-
-    sid_to_vmidx = {vm_ids[j]: j for j in range(n_vms)}
-    relief_config = OnDemandConfig(
-        target_utilization=config.target_utilization,
-        receiver_utilization=config.target_utilization,
-    )
-    relief_moves = 0
-    forecaster: Optional[DemandForecaster] = None
-    if config.provisioning == "ewma_peak":
-        forecaster = EwmaPeakForecaster(n_vms)
-    elif config.provisioning == "holt":
-        forecaster = HoltForecaster(n_vms)
-    static_peak = config.scheme == "static_peak"
-
-    for step in range(n_steps):
-        demand_now = demands[:, step]
-        if fault_timeline is not None:
-            _apply_fault_transitions(step, demand_now)
-        if forecaster is not None:
-            forecaster.update(demand_now)
-
-        if step == 0 and static_peak:
-            # One conservative placement against the whole-trace peak.
-            plan = _invoke_optimizer(_build_problem(demands.max(axis=1)), 0.0)
-            migrations += plan.n_moves
-            migration_energy_wh += _migration_energy(plan)
-            assignment = _apply_mapping(plan.final_mapping)
-        elif not static_peak and step % config.optimize_every_steps == 0:
-            demand_for_packing = demand_now
-            if forecaster is not None:
-                demand_for_packing = np.maximum(
-                    demand_now,
-                    forecaster.forecast_peak(config.optimize_every_steps),
-                )
-                demand_for_packing = np.minimum(demand_for_packing, peaks)
-            plan = _invoke_optimizer(_build_problem(demand_for_packing), step * dt_s)
-            migrations += plan.n_moves
-            migration_energy_wh += _migration_energy(plan)
-            assignment = _apply_mapping(plan.final_mapping, step * dt_s)
-        elif config.ondemand_relief:
-            placed_now = assignment >= 0
-            loads_now = np.bincount(
-                assignment[placed_now], weights=demand_now[placed_now],
-                minlength=n_srv,
-            )
-            if np.any(loads_now > srv_max_cap + 1e-9):
-                with tel.span("largescale.relief"):
-                    plan = relieve_overloads(_build_problem(demand_now), relief_config)
-                relief_moves += plan.n_moves
-                migration_energy_wh += _migration_energy(plan)
-                assignment = _apply_mapping(plan.final_mapping, step * dt_s)
-                tel.event(
-                    "relief", time_s=step * dt_s, moves=plan.n_moves,
-                )
-
-        placed = assignment >= 0
-        unplaced_vm_steps += int(np.count_nonzero(~placed))
-        loads = np.bincount(
-            assignment[placed], weights=demand_now[placed], minlength=n_srv
-        )
-        hosting_mask = (
-            np.bincount(assignment[placed], minlength=n_srv) > 0
-        )
-
-        # DVFS: lowest level covering load / headroom (or pinned at max).
-        # Under a thermal throttle every level delivers only srv_frac of
-        # its nominal capacity, so the selection works in nominal terms
-        # (needed / frac) and the chosen capacity is scaled back down.
-        eff_max = srv_max_cap if config.faults is None else srv_max_cap * srv_frac
-        cap = eff_max.copy()
-        freq_ratio = np.ones(n_srv)
-        if dvfs_on:
-            needed = loads / config.arbitrator_headroom
-            if config.faults is not None:
-                needed = needed / np.maximum(srv_frac, 1e-9)
-            for idx, caps in group_index:
-                level = np.searchsorted(caps, needed[idx] - 1e-9, side="left")
-                level = np.minimum(level, len(caps) - 1)
-                cap[idx] = caps[level]
-            if config.faults is not None:
-                cap = cap * srv_frac
-            # cap = freq * cores; ratio = nominal cap / nominal max cap.
-            freq_ratio = cap / eff_max
-
-        overload = loads > eff_max + 1e-9
-        overload_server_steps += int(np.count_nonzero(overload & hosting_mask))
-        util = np.minimum(loads / np.maximum(cap, 1e-12), 1.0)
-        scale = freq_ratio**srv_exp
-        idle_f = srv_idle * (1.0 - srv_kidle * (1.0 - scale))
-        power = idle_f + (srv_busy - srv_idle) * scale * util
-        power_total = float(power[hosting_mask].sum())
-        power_series[step] = power_total
-        active_series[step] = int(np.count_nonzero(hosting_mask))
-        total_energy_wh += power_total * dt_s / 3600.0
-        if tel.enabled:
-            time_s = step * dt_s
-            # One event per server power transition (on <-> off).
-            changed = np.nonzero(hosting_mask != prev_hosting)[0]
-            for i in changed:
-                tel.event(
-                    "server_power",
-                    time_s=time_s,
-                    server=idx_to_sid[i],
-                    state="on" if hosting_mask[i] else "off",
-                )
-            prev_hosting = hosting_mask.copy()
-            tel.event(
-                "largescale.step",
-                time_s=time_s,
-                power_w=power_total,
-                active_servers=int(active_series[step]),
-                overloaded_servers=int(np.count_nonzero(overload & hosting_mask)),
-            )
-
-    total_energy_wh += migration_energy_wh
-    logger.info(
-        "largescale run complete: %.1f Wh total (%.2f Wh/VM), %d migrations, "
-        "%d overloaded server-steps",
-        total_energy_wh, total_energy_wh / n_vms, migrations,
-        overload_server_steps,
-    )
-    return LargeScaleResult(
-        scheme=config.scheme,
-        n_vms=n_vms,
-        n_steps=n_steps,
-        step_s=dt_s,
-        total_energy_wh=total_energy_wh,
-        energy_per_vm_wh=total_energy_wh / n_vms,
-        migrations=migrations,
-        mean_active_servers=float(active_series.mean()),
-        max_active_servers=int(active_series.max()),
-        overload_server_steps=overload_server_steps,
-        unplaced_vm_steps=unplaced_vm_steps,
-        power_series_w=power_series,
-        active_series=active_series,
-        info={
-            "dvfs": float(dvfs_on),
-            "relief_moves": float(relief_moves),
-            "migration_energy_wh": migration_energy_wh,
-        },
-    )
+    backend.emit_run_config()
+    engine.run()
+    return backend.result()

@@ -38,8 +38,7 @@ from repro.core.controller.response_time_controller import (
     ResponseTimeController,
 )
 from repro.core.manager import PowerManager, PowerManagerConfig
-from repro.faults import FaultInjector, FaultSchedule
-from repro.obs import get_telemetry
+from repro.faults import FaultSchedule
 from repro.sim.metrics import SeriesRecorder
 from repro.sysid.experiment import run_identification_experiment
 from repro.sysid.fit import fit_arx
@@ -297,112 +296,19 @@ class TestbedExperiment:
                     plant.degrade_tier(j, frac)
 
     def run(self, rng: RngLike = None) -> TestbedResult:
-        """Run the experiment and return the recorded series."""
-        cfg = self.config
-        dc, manager, plants = self.build(rng)
-        recorder = SeriesRecorder()
-        tel = get_telemetry()
-        logger.info(
-            "testbed run: %d apps on %d servers, %.0fs at %.0fs periods, "
-            "setpoint %.0f ms",
-            cfg.n_apps, cfg.n_servers, cfg.duration_s, cfg.control_period_s,
-            cfg.setpoint_ms,
-        )
-        tel.event(
-            "run_config",
-            harness="testbed",
-            n_apps=cfg.n_apps,
-            n_servers=cfg.n_servers,
-            duration_s=cfg.duration_s,
-            control_period_s=cfg.control_period_s,
-            setpoint_ms=cfg.setpoint_ms,
-            controlled=cfg.controlled,
-            seed=cfg.seed,
-        )
-        workloads = {
-            i: cfg.workloads.get(i, ConstantWorkload(cfg.concurrency))
-            for i in range(cfg.n_apps)
-        }
+        """Run the experiment and return the recorded series.
 
-        for plant in plants:
-            plant.warmup(cfg.warmup_s)
+        This is a thin configuration of the control-plane kernel: it
+        builds a :class:`repro.engine.testbed_backend.TestbedBackend`
+        around this experiment, runs the
+        :class:`repro.engine.ControlPlane` to completion, and returns
+        the backend's recorded series.  Use
+        :func:`repro.engine.build_testbed_engine` directly for stepwise
+        execution or checkpoint/resume.
+        """
+        from repro.engine.testbed_backend import build_testbed_engine
 
-        injector: Optional[FaultInjector] = None
-        evacuated_vms: set = set()
-        if cfg.faults:
-            def _on_evacuate(server_id: str, vm_ids: List[str], t: float) -> None:
-                evacuated_vms.update(vm_ids)
-                manager.emergency_evacuate(server_id, vm_ids, time_s=t)
-
-            injector = FaultInjector(dc, cfg.faults, on_evacuate=_on_evacuate)
-
-        optimize_times = sorted(float(t) for t in cfg.optimize_at_s)
-        n_periods = int(round(cfg.duration_s / cfg.control_period_s))
-        for k in range(n_periods):
-            now = k * cfg.control_period_s
-            # 0a. Fault transitions due this period (crashes trigger the
-            # manager's emergency evacuation inside the step).
-            if injector is not None:
-                injector.step(now)
-                self._sync_plant_faults(dc, plants, evacuated_vms)
-            # 0b. Long-time-scale optimizer invocations (integrated mode).
-            while optimize_times and optimize_times[0] <= now:
-                optimize_times.pop(0)
-                plan = manager.optimize(time_s=now)
-                recorder.record("optimizer/moves", now, plan.n_moves)
-                recorder.record(
-                    "optimizer/active_servers", now, len(dc.active_servers())
-                )
-            # 1. Workload schedules take effect at period boundaries.
-            for i, plant in enumerate(plants):
-                level = workloads[i].level(now)
-                if level != plant.concurrency:
-                    plant.set_concurrency(level)
-            # 2. Plants run the period under current allocations.
-            measurements: Dict[str, float] = {}
-            usages: Dict[str, np.ndarray] = {}
-            used_by_server: Dict[str, float] = {s: 0.0 for s in dc.servers}
-            for i, plant in enumerate(plants):
-                stats = plant.run_period(cfg.control_period_s)
-                measurement = stats.metric(cfg.sla_metric)
-                measurements[f"app{i}"] = measurement
-                recorder.record(f"rt/app{i}", now, measurement)
-                used = plant.used_ghz(cfg.control_period_s)
-                usages[f"app{i}"] = used
-                app = dc.applications[f"app{i}"]
-                for j, vm_id in enumerate(app.vm_ids):
-                    sid = dc.server_of(vm_id)
-                    if sid is not None:  # evicted-and-unplaced VMs burn nothing
-                        used_by_server[sid] += float(used[j])
-            # 3. Power with the frequencies in effect during this period.
-            total_power = sum(
-                server.power_w(used_by_server[sid])
-                for sid, server in dc.servers.items()
-            )
-            recorder.record("power/total", now, total_power)
-            for sid, server in dc.servers.items():
-                recorder.record(f"freq/{sid}", now, server.freq_ghz)
-            tel.event(
-                "testbed.period",
-                time_s=now,
-                power_w=total_power,
-                active_servers=len(dc.active_servers()),
-            )
-            # 4. Controllers + arbitrators set next period's allocations.
-            if injector is not None:
-                measurements = injector.filter_measurements(measurements)
-            if cfg.controlled:
-                step = manager.control_step(measurements, used_ghz=usages, time_s=now)
-                for i in range(cfg.n_apps):
-                    granted = step.granted_ghz[f"app{i}"]
-                    for j in range(2):
-                        recorder.record(f"alloc/app{i}/tier{j}", now, granted[j])
-        logger.info(
-            "testbed run complete: %d periods, mean power %.1f W",
-            n_periods, recorder.summary("power/total")["mean"],
-        )
-        return TestbedResult(
-            recorder=recorder,
-            model=self._shared_model,
-            sysid_r2=self._sysid_r2,
-        )
+        engine, backend = build_testbed_engine(experiment=self, rng=rng)
+        backend.start()
+        engine.run()
+        return backend.result()

@@ -161,6 +161,30 @@ class RecursiveARXEstimator:
         self.n_updates += 1
         return self.model
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the estimate (engine checkpoints)."""
+        return {
+            "theta": [float(v) for v in self.theta],
+            "scale": [float(v) for v in self.scale],
+            "P": [[float(v) for v in row] for row in self.P],
+            "trace_cap": self._trace_cap,
+            "n_updates": self.n_updates,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore :meth:`state_dict` so updates resume bit-identically."""
+        theta = np.asarray(state["theta"], dtype=float)
+        if theta.shape != self.theta.shape:
+            raise ValueError(
+                f"checkpoint theta has shape {theta.shape}, estimator needs "
+                f"{self.theta.shape}"
+            )
+        self.theta = theta
+        self.scale = np.asarray(state["scale"], dtype=float)
+        self.P = np.asarray(state["P"], dtype=float)
+        self._trace_cap = float(state["trace_cap"])
+        self.n_updates = int(state["n_updates"])
+
     # -- internals ------------------------------------------------------
 
     def _project(self) -> None:

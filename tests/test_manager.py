@@ -5,7 +5,12 @@ import pytest
 
 from repro.apps import AppSpec, MultiTierApp
 from repro.cluster import Application, DataCenter, Server, VM
-from repro.cluster.catalog import SERVER_TYPE_A, SERVER_TYPE_B, TESTBED_SERVER
+from repro.cluster.catalog import (
+    SERVER_TYPE_A,
+    SERVER_TYPE_B,
+    SERVER_TYPE_C,
+    TESTBED_SERVER,
+)
 from repro.control.arx import ARXModel
 from repro.core import (
     ControllerConfig,
@@ -187,3 +192,54 @@ class TestOptimize:
         mgr.optimize()
         assert dc.servers["asleep"].active
         assert dc.server_of("v1") == "asleep"
+
+
+class TestEmergencyEvacuate:
+    def _crashed_cluster(self):
+        """T1 crashes; the only survivor and the only sleeper are both
+        too small (CPU capacity) to absorb the 4 GHz evicted VMs."""
+        dc = DataCenter()
+        dc.add_server(Server("T0", TESTBED_SERVER))  # 4.8 GHz max
+        dc.add_server(Server("T1", TESTBED_SERVER))
+        dc.add_server(Server("T2", SERVER_TYPE_C, active=False))  # 3.0 GHz max
+        dc.add_vm(VM("keep", memory_mb=1024, demand_ghz=4.0))
+        dc.place("keep", "T0")
+        for vm_id in ("v-a", "v-b"):
+            dc.add_vm(VM(vm_id, memory_mb=1024, demand_ghz=4.0))
+            dc.place(vm_id, "T1")
+        return dc, PowerManager(dc)
+
+    def test_unplaceable_vms_reported_not_dropped(self):
+        from repro.obs import InMemoryBackend, Telemetry, use_telemetry
+
+        dc, mgr = self._crashed_cluster()
+        backend = InMemoryBackend()
+        evicted = dc.fail_server("T1")
+        assert sorted(evicted) == ["v-a", "v-b"]
+        with use_telemetry(Telemetry(backend)):
+            plan = mgr.emergency_evacuate("T1", evicted, time_s=42.0)
+        # Nowhere to go: both VMs stay unplaced in the returned plan...
+        assert sorted(plan.unplaced) == ["v-a", "v-b"]
+        # ...but survive in the inventory (homeless, not deleted).
+        for vm_id in ("v-a", "v-b"):
+            assert vm_id in dc.vms
+            assert dc.server_of(vm_id) is None
+        # The untouched survivor keeps its placement; nothing was woken
+        # (the sleeper cannot hold these VMs either).
+        assert dc.server_of("keep") == "T0"
+        assert not dc.servers["T2"].active
+        # The telemetry event carries the unplaced list for operators.
+        events = [r for r in backend.records if r.get("kind") == "evacuation"]
+        assert len(events) == 1
+        assert sorted(events[0]["unplaced"]) == ["v-a", "v-b"]
+        assert events[0]["server"] == "T1"
+
+    def test_partial_placement_places_what_fits(self):
+        dc, mgr = self._crashed_cluster()
+        # Shrink one VM so it fits the sleeping type-C host (3 GHz).
+        dc.vms["v-b"].demand_ghz = 1.0
+        evicted = dc.fail_server("T1")
+        plan = mgr.emergency_evacuate("T1", evicted, time_s=42.0)
+        assert plan.unplaced == ["v-a"]
+        assert dc.server_of("v-b") is not None
+        assert dc.server_of("v-a") is None

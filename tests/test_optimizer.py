@@ -280,9 +280,61 @@ class TestIPAC:
         plan = ipac(problem, IPACConfig(max_drain_rounds=0))
         assert plan.final_mapping["a"] == "old"
 
+    def test_unplaced_vm_retried_after_drain_frees_capacity(self):
+        # Phase A packs the efficient small server to its utilization
+        # target and the big server runs out of memory, leaving one VM
+        # homeless.  The drain loop then consolidates everything onto
+        # the big server — emptying the small one, which can now host
+        # the leftover VM.  IPAC must retry it (hypothesis-found case).
+        servers = (
+            make_server_info("s0", capacity=8.0, memory=4096.0,
+                             efficiency=0.03125, active=False),
+            make_server_info("s1", capacity=3.0, memory=16384.0,
+                             efficiency=0.046875, active=False),
+        )
+        vms = (
+            make_vm_info("v0", demand=1.0, memory=512.0),
+            make_vm_info("v1", demand=1.0, memory=512.0),
+            make_vm_info("v2", demand=1.0, memory=512.0),
+            make_vm_info("v3", demand=0.25, memory=512.0),
+            make_vm_info("v4", demand=1.0, memory=2048.0),
+            make_vm_info("v5", demand=1.0, memory=2048.0),
+        )
+        problem = PlacementProblem(servers, vms, {})
+        plan = ipac(problem)
+        check_plan_feasible(problem, plan)
+        assert plan.unplaced == []
+        assert set(plan.final_mapping) == {v.vm_id for v in vms}
+
+    def test_unplaced_vm_homed_by_single_relocation(self):
+        # Neither server can take v6 directly: s0 is out of memory and
+        # s1 out of CPU headroom.  Moving one 1-GHz / 512-MB VM from s1
+        # to s0 opens the CPU room, so the repair pass must find the
+        # (host, relocated VM, refuge) triple (hypothesis-found case).
+        servers = (
+            make_server_info("s0", capacity=9.0, memory=4096.0,
+                             efficiency=0.03125, active=False),
+            make_server_info("s1", capacity=3.0, memory=16384.0,
+                             efficiency=0.046875, active=False),
+        )
+        vms = (
+            make_vm_info("v0", demand=1.0, memory=512.0),
+            make_vm_info("v1", demand=1.0, memory=512.0),
+            make_vm_info("v2", demand=1.0, memory=512.0),
+            make_vm_info("v3", demand=0.5, memory=512.0),
+            make_vm_info("v4", demand=0.25, memory=512.0),
+            make_vm_info("v5", demand=1.0, memory=2048.0),
+            make_vm_info("v6", demand=1.0, memory=2048.0),
+        )
+        problem = PlacementProblem(servers, vms, {})
+        plan = ipac(problem)
+        check_plan_feasible(problem, plan)
+        assert plan.unplaced == []
+        assert set(plan.final_mapping) == {v.vm_id for v in vms}
+
     @settings(max_examples=25, deadline=None)
     @given(data=st.data())
-    def test_random_problems_feasible_and_complete(self, data):
+    def test_random_problems_feasible_and_unplaced_sound(self, data):
         n_srv = data.draw(st.integers(2, 6))
         n_vms = data.draw(st.integers(1, 10))
         servers = tuple(
@@ -306,13 +358,36 @@ class TestIPAC:
         problem = PlacementProblem(servers, vms, {})
         plan = ipac(problem)
         check_plan_feasible(problem, plan)
-        # When capacity is generous in BOTH dimensions, everything places.
-        total_cap = sum(s.max_capacity_ghz for s in servers)
-        total_dem = sum(v.demand_ghz for v in vms)
-        total_mem_cap = sum(s.memory_mb for s in servers)
-        total_mem_dem = sum(v.memory_mb for v in vms)
-        if total_dem < 0.5 * total_cap and total_mem_dem < 0.5 * total_mem_cap:
-            assert plan.unplaced == []
+        # Incompleteness must be *earned*: a VM is reported unplaced
+        # only when, in the returned placement, no server has both the
+        # CPU headroom (at the packing target) and the memory for it —
+        # the ejection-chain repair has already tried harder than that.
+        #
+        # (A blanket "generous aggregate capacity implies complete"
+        # claim is unsound: e.g. servers of 9 GHz / 4096 MB and
+        # 2 GHz / 16384 MB with three 1 GHz / 2048 MB VMs and four
+        # 0.25-0.5 GHz / 512 MB VMs satisfy 2x aggregate headroom in
+        # both dimensions, yet every memory-feasible split needs more
+        # than 0.95 * 2 GHz on the small server — no placement at the
+        # utilization target exists at all.)
+        target = PACConfig().target_utilization
+        loads = {s.server_id: 0.0 for s in servers}
+        mems = {s.server_id: 0.0 for s in servers}
+        vm_by_id = {v.vm_id: v for v in vms}
+        for vm_id, sid in plan.final_mapping.items():
+            loads[sid] += vm_by_id[vm_id].demand_ghz
+            mems[sid] += vm_by_id[vm_id].memory_mb
+        for vm_id in plan.unplaced:
+            vm = vm_by_id[vm_id]
+            for s in servers:
+                fits_cpu = (
+                    loads[s.server_id] + vm.demand_ghz
+                    <= s.max_capacity_ghz * target + 1e-9
+                )
+                fits_mem = mems[s.server_id] + vm.memory_mb <= s.memory_mb + 1e-9
+                assert not (fits_cpu and fits_mem), (
+                    f"{vm_id} reported unplaced but fits {s.server_id}"
+                )
 
 
 class TestPMapper:

@@ -1,0 +1,305 @@
+"""Scenario registry: JSON round-trip, validation, build, CLI."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.engine.scenario import (
+    HARNESSES,
+    ScenarioError,
+    ScenarioRegistry,
+    ScenarioSpec,
+    builtin_registry,
+)
+from repro.obs import InMemoryBackend, Telemetry, use_telemetry
+
+# Pinned by tests/test_perf_fastpath.py for the same configuration run
+# through the public harness API — the scenario path must agree.
+_TB_SMALL_SHA = "a4ae4a9006785b8e0898af5df2bc1ff973350d82380b8d0b5be7c122018478fc"
+
+
+def _eventlog_hash(records):
+    events = [r for r in records if r.get("kind") not in ("span", "metrics")]
+    digest = hashlib.sha256(
+        json.dumps(events, sort_keys=True, default=str).encode()
+    ).hexdigest()
+    return digest, len(events)
+
+
+class TestRoundTrip:
+    def test_every_builtin_roundtrips_through_json(self):
+        for spec in builtin_registry():
+            doc = json.loads(json.dumps(spec.to_dict()))
+            again = ScenarioSpec.from_dict(doc)
+            assert again.to_dict() == spec.to_dict()
+            assert again.validate() == []
+
+    def test_to_dict_is_json_safe_despite_tuples(self):
+        spec = ScenarioSpec(
+            name="x", description="", harness="testbed",
+            params={"optimize_at_s": (60.0, 180.0)},
+        )
+        doc = spec.to_dict()
+        assert doc["params"]["optimize_at_s"] == [60.0, 180.0]
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ScenarioError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict({"name": "x", "harness": "testbed", "extra": 1})
+
+    def test_from_dict_requires_name_and_harness(self):
+        with pytest.raises(ScenarioError, match="lacks"):
+            ScenarioSpec.from_dict({"harness": "testbed"})
+        with pytest.raises(ScenarioError, match="lacks"):
+            ScenarioSpec.from_dict({"name": "x"})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ScenarioError, match="must be an object"):
+            ScenarioSpec.from_dict([1, 2])
+
+
+class TestValidate:
+    def _spec(self, **kw):
+        base = dict(name="t", description="", harness="testbed", params={})
+        base.update(kw)
+        return ScenarioSpec(**base)
+
+    def test_builtins_are_valid(self):
+        for spec in builtin_registry():
+            assert spec.validate() == []
+
+    def test_harness_checked(self):
+        assert HARNESSES == ("testbed", "largescale")
+        problems = self._spec(harness="cloud").validate()
+        assert any("harness" in p for p in problems)
+
+    def test_empty_name_flagged(self):
+        problems = self._spec(name=" ").validate()
+        assert any("name" in p for p in problems)
+
+    def test_unknown_config_param_flagged(self):
+        problems = self._spec(params={"bogus_knob": 1}).validate()
+        assert any("bogus_knob" in p for p in problems)
+
+    def test_bad_config_value_flagged(self):
+        problems = self._spec(params={"duration_s": -5.0}).validate()
+        assert any("duration_s" in p for p in problems)
+
+    def test_faults_in_params_rejected(self):
+        problems = self._spec(params={"faults": {}}).validate()
+        assert any("top-level" in p for p in problems)
+
+    def test_fault_spec_problems_prefixed(self):
+        problems = self._spec(
+            faults={"seed": 0, "events": [{"kind": "nope", "time_s": 1.0}]}
+        ).validate()
+        assert problems and all(p.startswith("faults:") for p in problems)
+
+    def test_model_only_for_testbed(self):
+        problems = self._spec(
+            harness="largescale",
+            params={"n_vms": 5, "n_servers": 5},
+            trace={"n_servers": 5, "n_days": 1, "seed": 0},
+            model={"a": [0.4], "b": [[-1.0, -1.0]], "g": 1.0},
+        ).validate()
+        assert any(p.startswith("model:") for p in problems)
+
+    def test_bad_model_shape_flagged(self):
+        problems = self._spec(model={"a": [0.4], "b": "oops", "g": 1.0}).validate()
+        assert any(p.startswith("model:") for p in problems)
+
+    def test_workloads_only_for_testbed(self):
+        problems = self._spec(
+            harness="largescale",
+            params={"n_vms": 5, "n_servers": 5},
+            trace={"n_servers": 5, "n_days": 1, "seed": 0},
+            workloads={"0": {"type": "constant", "level": 5}},
+        ).validate()
+        assert any(p.startswith("workloads:") for p in problems)
+
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            {"type": "sawtooth"},
+            {"type": "step", "base": 10},
+            {"type": "step", "base": 10, "high": 20, "start_s": 9.0,
+             "end_s": 18.0, "bogus": 1},
+            "not-an-object",
+        ],
+    )
+    def test_bad_workload_flagged(self, workload):
+        problems = self._spec(workloads={"0": workload}).validate()
+        assert any("workloads[" in p for p in problems)
+
+    def test_workload_key_must_be_index(self):
+        problems = self._spec(
+            workloads={"app0": {"type": "constant", "level": 5}}
+        ).validate()
+        assert any("app index" in p for p in problems)
+
+    def test_largescale_requires_trace(self):
+        problems = self._spec(
+            harness="largescale", params={"n_vms": 5, "n_servers": 5}
+        ).validate()
+        assert any(p.startswith("trace:") for p in problems)
+
+    def test_trace_only_for_largescale(self):
+        problems = self._spec(trace={"n_servers": 5}).validate()
+        assert any(p.startswith("trace:") for p in problems)
+
+    def test_trace_unknown_fields_flagged(self):
+        problems = self._spec(
+            harness="largescale",
+            params={"n_vms": 5, "n_servers": 5},
+            trace={"n_servers": 5, "interval": 60},
+        ).validate()
+        assert any("unknown fields" in p for p in problems)
+
+    def test_build_refuses_invalid_spec(self):
+        with pytest.raises(ScenarioError, match="invalid"):
+            self._spec(params={"bogus_knob": 1}).build()
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = builtin_registry().names()
+        assert "testbed-small" in names and "largescale-small" in names
+        assert names == sorted(names)
+
+    def test_register_rejects_duplicates(self):
+        reg = builtin_registry()
+        spec = reg.get("testbed-small")
+        with pytest.raises(ScenarioError, match="already registered"):
+            reg.register(spec)
+        assert reg.register(spec, replace=True) is spec
+
+    def test_register_validates(self):
+        reg = ScenarioRegistry()
+        with pytest.raises(ScenarioError, match="invalid"):
+            reg.register(ScenarioSpec(name="bad", description="", harness="x"))
+        assert len(reg) == 0
+
+    def test_get_unknown_names_known(self):
+        reg = builtin_registry()
+        with pytest.raises(KeyError, match="testbed-small"):
+            reg.get("nope")
+
+    def test_iteration_and_contains(self):
+        reg = builtin_registry()
+        assert "testbed-faulted" in reg and "nope" not in reg
+        assert [s.name for s in reg] == reg.names()
+        assert len(reg) == len(reg.names())
+
+
+class TestBuildAndRun:
+    def test_testbed_small_matches_harness_golden(self):
+        backend = InMemoryBackend()
+        engine, plant = builtin_registry().get("testbed-small").build()
+        with use_telemetry(Telemetry(backend)):
+            plant.start()
+            engine.run()
+            plant.result()
+        digest, n = _eventlog_hash(backend.records)
+        assert (digest, n) == (_TB_SMALL_SHA, 25)
+
+    def test_spec_file_runs_like_registry_entry(self, tmp_path):
+        # A spec serialized to disk and reloaded builds the same run.
+        spec = builtin_registry().get("testbed-small")
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        loaded = ScenarioSpec.from_dict(json.loads(path.read_text()))
+        backend = InMemoryBackend()
+        engine, plant = loaded.build()
+        with use_telemetry(Telemetry(backend)):
+            plant.start()
+            engine.run()
+        assert _eventlog_hash(backend.records) == (_TB_SMALL_SHA, 25)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main_scenario
+
+        assert main_scenario(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in builtin_registry().names():
+            assert name in out
+
+    def test_list_json_parses(self, capsys):
+        from repro.cli import main_scenario
+
+        assert main_scenario(["list", "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert {d["name"] for d in docs} == set(builtin_registry().names())
+
+    def test_validate_builtin(self, capsys):
+        from repro.cli import main_scenario
+
+        assert main_scenario(["validate", "testbed-faulted"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_bad_spec_file(self, tmp_path, capsys):
+        from repro.cli import main_scenario
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({
+                "name": "bad", "description": "", "harness": "testbed",
+                "params": {"bogus_knob": 1},
+            }),
+            encoding="utf-8",
+        )
+        assert main_scenario(["validate", str(path)]) == 1
+        assert "bogus_knob" in capsys.readouterr().err
+
+    def test_validate_unknown_name(self, capsys):
+        from repro.cli import main_scenario
+
+        with pytest.raises(SystemExit):
+            main_scenario(["validate", "no-such-scenario"])
+        assert "known:" in capsys.readouterr().err
+
+    def test_sim_checkpoint_then_resume_is_bit_identical(self, tmp_path, capsys):
+        from repro.cli import main_sim
+
+        ck = tmp_path / "ck.json"
+        prefix, suffix, full = (
+            tmp_path / "a.jsonl", tmp_path / "b.jsonl", tmp_path / "full.jsonl"
+        )
+        assert main_sim([
+            "--scenario", "testbed-faulted",
+            "--checkpoint", str(ck), "--checkpoint-at", "7",
+            "--trace-jsonl", str(prefix),
+        ]) == 0
+        assert main_sim([
+            "--scenario", "testbed-faulted",
+            "--resume", str(ck), "--trace-jsonl", str(suffix),
+        ]) == 0
+        assert main_sim([
+            "--scenario", "testbed-faulted", "--trace-jsonl", str(full),
+        ]) == 0
+        capsys.readouterr()
+
+        def events(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                records = [json.loads(line) for line in fh]
+            return [r for r in records if r.get("kind") not in ("span", "metrics")]
+
+        joined = events(prefix) + events(suffix)
+        assert json.dumps(joined, sort_keys=True, default=str) == json.dumps(
+            events(full), sort_keys=True, default=str
+        )
+
+    def test_sim_rejects_mismatched_resume(self, tmp_path, capsys):
+        from repro.cli import main_sim
+
+        ck = tmp_path / "ck.json"
+        assert main_sim([
+            "--scenario", "testbed-faulted",
+            "--checkpoint", str(ck), "--checkpoint-at", "3",
+        ]) == 0
+        # Resuming a different scenario from this checkpoint must fail
+        # (testbed-small lacks the fault schedule the checkpoint carries).
+        assert main_sim(["--scenario", "testbed-small", "--resume", str(ck)]) == 1
+        assert "cannot resume" in capsys.readouterr().err

@@ -32,6 +32,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.apps.demand import DemandDistribution, Exponential
+from repro.obs.reqtrace import RequestTrace, RequestTracer
 from repro.sim.des import PSResource, SimEvent, Simulator
 from repro.sim.metrics import PeriodStats
 from repro.util.rng import RngLike, ensure_rng
@@ -229,6 +230,7 @@ class MultiTierApp:
         self._n_spawned = 0
         self._parked: Dict[int, SimEvent] = {}
         self._period_rts: List[float] = []
+        self._tracer: Optional[RequestTracer] = None
         if concurrency:
             self.set_concurrency(concurrency)
 
@@ -343,6 +345,26 @@ class MultiTierApp:
         """Instantaneous number of in-service requests per tier."""
         return [res.queue_length for res in self._tiers]
 
+    # -- request-path tracing -------------------------------------------
+
+    def enable_request_tracing(
+        self, sample_every: int = 1, app: Optional[str] = None
+    ) -> RequestTracer:
+        """Trace every ``sample_every``-th request through the tiers.
+
+        ``app`` names the application in trace IDs (defaults to the
+        spec name).  Sampling is counter-based, and the traced client
+        path draws the identical RNG sequence as the untraced one, so
+        enabling tracing never changes simulated behaviour — only what
+        gets recorded.
+        """
+        self._tracer = RequestTracer(app or self.spec.name, sample_every)
+        return self._tracer
+
+    def drain_traces(self) -> List[RequestTrace]:
+        """Finished request traces since the last drain ([] if disabled)."""
+        return self._tracer.drain() if self._tracer is not None else []
+
     # -- internals ------------------------------------------------------
 
     def _reset_period(self) -> None:
@@ -363,7 +385,20 @@ class MultiTierApp:
             if idx >= self._target_n:
                 continue
             t_start = self.sim.now
-            for tier_spec, res in zip(self.spec.tiers, self._tiers):
-                work = tier_spec.demand.sample(rng)
-                yield res.submit(work)
+            tracer = self._tracer
+            req = tracer.begin() if tracer is not None else -1
+            if req >= 0:
+                # Traced request: identical RNG draws and event sequence
+                # as the plain path — it only *records* the per-tier
+                # sojourn each completion event already carries.
+                visits = []
+                for tier_spec, res in zip(self.spec.tiers, self._tiers):
+                    work = tier_spec.demand.sample(rng)
+                    sojourn = yield res.submit(work)
+                    visits.append((tier_spec.name, sojourn, work))
+                tracer.finish(req, t_start, self.sim.now, visits)
+            else:
+                for tier_spec, res in zip(self.spec.tiers, self._tiers):
+                    work = tier_spec.demand.sample(rng)
+                    yield res.submit(work)
             self._period_rts.append((self.sim.now - t_start) * 1000.0)

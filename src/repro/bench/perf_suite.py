@@ -23,6 +23,13 @@ Cases
 ``des``
     The request-level testbed (discrete-event core + controller stack).
     Fast: MPC warm start on (default).  Reference: off.
+``telemetry``
+    Observability overhead on the DES hot path.  "Fast" is the fully
+    instrumented run — kernel ``phase.*`` spans (sampled), request
+    tracing, per-tier power attribution — against the same run with
+    telemetry disabled.  Speedup here is *expected* to sit at or just
+    below 1.0; the case exists so the cost of watching the system is a
+    tracked number instead of a silent tax on ``des``.
 ``largescale``
     The trace-driven harness at several hundred VMs — the end-to-end
     number.  Fast: default config (pruning, trusted snapshot
@@ -365,6 +372,64 @@ def bench_des(scale: str) -> CaseResult:
     )
 
 
+# ---------------------------------------------------------- telemetry --
+
+
+def _obs_testbed_run(duration_s: float, instrumented: bool) -> int:
+    """One testbed run, fully observed or fully dark.
+
+    The instrumented variant is the worst reasonable case a user would
+    actually run: an in-memory backend, kernel phase spans sampled 1:8,
+    request tracing at 1:8, and per-tier power attribution on.  The dark
+    variant nests a disabled :class:`Telemetry` so the suite's own
+    telemetry scope does not leak into the reference timing.  Returns
+    the number of records captured (0 when dark).
+    """
+    model = ARXModel(a=[0.4], b=[[-800.0, -300.0], [-100.0, -50.0]], g=1800.0)
+    cfg = TestbedConfig(
+        n_servers=2,
+        n_apps=2,
+        duration_s=duration_s,
+        warmup_s=20.0,
+        concurrency=10,
+        initial_alloc_ghz=0.6,
+        trace_requests_every=8 if instrumented else 0,
+        attribute_power=instrumented,
+        seed=77,
+    )
+    if instrumented:
+        backend = InMemoryBackend()
+        with use_telemetry(Telemetry(backend, span_sample_every=8)):
+            TestbedExperiment(cfg, model).run()
+        return len(backend.records)
+    with use_telemetry(Telemetry()):
+        TestbedExperiment(cfg, model).run()
+    return 0
+
+
+def bench_telemetry(scale: str) -> CaseResult:
+    duration = 300.0 if scale == "full" else 120.0
+    _obs_testbed_run(60.0, instrumented=True)  # warm the process up
+    with get_telemetry().span("bench.telemetry", duration_s=duration):
+        t0 = time.perf_counter()
+        n_records = _obs_testbed_run(duration, instrumented=True)
+        wall = time.perf_counter() - t0
+        ref_wall = _time(lambda: _obs_testbed_run(duration, instrumented=False))
+    return CaseResult(
+        name="telemetry",
+        wall_s=wall,
+        reference_wall_s=ref_wall,
+        speedup=ref_wall / wall,
+        iters=n_records,
+        warm_hit_rate=None,
+        detail={
+            "duration_s": duration,
+            "records": float(n_records),
+            "overhead_pct": (wall / ref_wall - 1.0) * 100.0,
+        },
+    )
+
+
 # --------------------------------------------------------- largescale --
 
 
@@ -402,6 +467,7 @@ CASES: Dict[str, Callable[[str], CaseResult]] = {
     "minslack": bench_minslack,
     "ipac": bench_ipac,
     "des": bench_des,
+    "telemetry": bench_telemetry,
     "largescale": bench_largescale,
 }
 
@@ -428,7 +494,10 @@ def run_suite(
             )
     backend = InMemoryBackend()
     results: List[CaseResult] = []
-    with use_telemetry(Telemetry(backend)):
+    # Sample the kernel's per-period phase spans hard (first span of
+    # each name is always kept, so the bench.* markers survive): the
+    # suite's own instrumentation must not tax the paths it times.
+    with use_telemetry(Telemetry(backend, span_sample_every=32)):
         for name in names:
             results.append(CASES[name](scale))
     return {

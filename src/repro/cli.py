@@ -7,7 +7,8 @@ parameters and prints a plain-text report; they are thin wrappers over
 the same harnesses the benchmark suite uses.  All commands take
 ``--verbose``/``--quiet``; the run commands additionally take
 ``--trace-jsonl PATH`` to record a structured telemetry log that
-``repro-obs summarize`` can render, and ``--faults PATH`` to inject a
+``repro-obs`` can summarize, profile, audit, or watch live (see
+``docs/OBSERVABILITY.md``), and ``--faults PATH`` to inject a
 deterministic fault scenario (validate/generate one with
 ``repro-faults``).
 
@@ -85,6 +86,11 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         help="record telemetry (spans, events, metrics) to a JSONL file",
     )
     parser.add_argument(
+        "--trace-requests", type=int, default=0, metavar="N",
+        help="trace every Nth client request through its tiers and "
+        "attribute per-tier energy (0 = off; see repro-obs summarize/audit)",
+    )
+    parser.add_argument(
         "--faults", metavar="PATH", default=None,
         help="inject the fault scenario described by this JSON spec "
         "(see repro-faults)",
@@ -105,6 +111,8 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         concurrency=args.concurrency,
         workloads=workloads,
         faults=_load_fault_schedule(args.faults),
+        trace_requests_every=max(0, args.trace_requests),
+        attribute_power=args.trace_requests > 0,
         seed=args.seed,
     )
     with _telemetry_scope(args.trace_jsonl):
@@ -132,6 +140,9 @@ def main_largescale(argv: Optional[List[str]] = None) -> int:
                         choices=["current", "ewma_peak", "holt"])
     parser.add_argument("--relief", action="store_true",
                         help="enable on-demand overload relief between invocations")
+    parser.add_argument("--attribution", action="store_true",
+                        help="accumulate per-VM energy attribution "
+                        "(reported per run; see repro-obs summarize)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--trace-jsonl", metavar="PATH", default=None,
@@ -161,6 +172,7 @@ def main_largescale(argv: Optional[List[str]] = None) -> int:
                         n_vms=n, n_servers=args.servers, scheme=scheme,
                         provisioning=args.provisioning, ondemand_relief=args.relief,
                         faults=fault_schedule,
+                        attribute_power=args.attribution,
                         seed=args.seed,
                     ),
                 )
@@ -204,10 +216,13 @@ def main_obs(argv: Optional[List[str]] = None) -> int:
     """Inspect telemetry JSONL files recorded by instrumented runs."""
     parser = argparse.ArgumentParser(
         prog="repro-obs",
-        description="Inspect telemetry recorded with --trace-jsonl (or the obs API).",
+        description="Inspect telemetry recorded with --trace-jsonl (or the obs API): "
+        "summarize a finished run, profile kernel phases, audit SLO/power, "
+        "or watch a run live.",
     )
     add_verbosity_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
+
     p_sum = sub.add_parser(
         "summarize",
         help="reduce a telemetry JSONL file to tracking error, time-in-span, "
@@ -218,23 +233,134 @@ def main_obs(argv: Optional[List[str]] = None) -> int:
         "--json", action="store_true",
         help="print the summary as JSON instead of tables",
     )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="aggregate the kernel's phase.* spans into a per-phase "
+        "wall/CPU/allocation profile",
+    )
+    p_prof.add_argument("path", help="telemetry JSONL file")
+    p_prof.add_argument(
+        "--json", action="store_true",
+        help="print the profile as JSON instead of a table",
+    )
+
+    p_aud = sub.add_parser(
+        "audit",
+        help="evaluate SLO-violation episodes and power savings vs a "
+        "baseline; exit 1 when the SLO check fails",
+    )
+    p_aud.add_argument("path", help="telemetry JSONL file")
+    p_aud.add_argument(
+        "--json", action="store_true",
+        help="print the audit report as JSON instead of tables",
+    )
+    p_aud.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the machine-readable report (JSON) here",
+    )
+    p_aud.add_argument(
+        "--baseline-w", type=float, default=None,
+        help="fixed baseline power in W (default: derive per --baseline-rule)",
+    )
+    p_aud.add_argument(
+        "--baseline-rule", choices=["peak", "first"], default="peak",
+        help="how to derive the baseline from the trace when --baseline-w "
+        "is not given (default: peak observed power)",
+    )
+    p_aud.add_argument(
+        "--violation-budget", type=float, default=0.1,
+        help="max tolerated fraction of violating periods per app "
+        "(default 0.1)",
+    )
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="follow a (possibly still-growing) telemetry file and render "
+        "a live ASCII dashboard",
+    )
+    p_watch.add_argument("path", help="telemetry JSONL file (may not exist yet)")
+    p_watch.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh interval in seconds (default 2)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit",
+    )
+    p_watch.add_argument(
+        "--max-updates", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: until the run ends)",
+    )
+    p_watch.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="keep a Prometheus text-exposition snapshot current at PATH "
+        "(scrape-ready, e.g. for a textfile collector)",
+    )
+
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
+    import json as _json
+
+    if args.command == "watch":
+        from repro.obs import watch as obs_watch
+
+        dash = obs_watch(
+            args.path,
+            interval_s=args.interval,
+            once=args.once,
+            max_updates=args.max_updates,
+            prom_path=args.prom,
+        )
+        if dash.n_records == 0:
+            print(f"repro-obs: no records read from {args.path}", file=sys.stderr)
+            return 1
+        return 0
 
     try:
-        summary = summarize_jsonl(args.path)
+        if args.command == "summarize":
+            summary = summarize_jsonl(args.path)
+        elif args.command == "profile":
+            from repro.obs import profile_jsonl
+
+            summary = profile_jsonl(args.path)
+        else:
+            from repro.obs import AuditConfig, audit_jsonl
+
+            summary = audit_jsonl(args.path, AuditConfig(
+                baseline_power_w=args.baseline_w,
+                baseline_rule=args.baseline_rule,
+                violation_budget=args.violation_budget,
+            ))
     except OSError as exc:
         print(f"repro-obs: cannot read {args.path}: {exc.strerror or exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
         print(f"repro-obs: {exc}", file=sys.stderr)
         return 1
-    if args.json:
-        import json as _json
 
+    if args.command == "audit" and args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(summary, fh, indent=2, default=str)
+        print(f"audit report written to {args.output}", file=sys.stderr)
+    if args.json:
         print(_json.dumps(summary, indent=2, default=str))
     else:
-        print(render_summary(summary, title=args.path))
+        if args.command == "summarize":
+            text = render_summary(summary, title=args.path)
+            if summary.get("n_malformed"):
+                text += f"\n\n({summary['n_malformed']} malformed lines skipped)"
+            print(text)
+        elif args.command == "profile":
+            from repro.obs import render_profile
+
+            print(render_profile(summary, title=args.path))
+        else:
+            from repro.obs import render_audit
+
+            print(render_audit(summary, title=args.path))
+    if args.command == "audit" and not summary["slo"]["passed"]:
+        return 1
     return 0
 
 

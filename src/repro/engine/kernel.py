@@ -11,10 +11,15 @@ period, owning the clock, the run loop, and checkpoint/resume.
 
 Determinism contract
 --------------------
-The kernel adds **no** stochasticity and **no** telemetry events of its
-own: a kernel-driven run emits byte-identical event logs to the legacy
-hand-wired loops it replaced (pinned by the golden-hash tests in
-``tests/test_engine.py`` and ``tests/test_perf_fastpath.py``).
+The kernel adds **no** stochasticity, and the only telemetry it emits
+of its own is *profiling spans*: with telemetry enabled, every phase of
+every period runs inside a ``phase.<name>`` span annotated with CPU
+time and allocation deltas (``repro-obs profile`` aggregates them).
+Span records are excluded from the golden event-log hashes, so a
+kernel-driven run still hashes byte-identical to the legacy hand-wired
+loops it replaced (pinned in ``tests/test_engine.py`` and
+``tests/test_perf_fastpath.py``); with telemetry disabled the loop is
+the bare ``phase.run(ctx)`` — no clock reads, no allocation.
 
 Checkpoint / resume
 -------------------
@@ -33,10 +38,13 @@ from __future__ import annotations
 
 import json
 import logging
+import sys
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.engine.interfaces import Checkpointable, EnginePhase
+from repro.obs import get_telemetry
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -192,8 +200,20 @@ class ControlPlane:
                 f"engine {self.name!r} already ran all {self.n_periods} periods"
             )
         ctx = PeriodContext(k=self.k, time_s=self.time_s, period_s=self.period_s)
-        for phase in self.phases:
-            phase.run(ctx)
+        tel = get_telemetry()
+        if tel.enabled:
+            for phase in self.phases:
+                with tel.span(f"phase.{phase.name}", k=ctx.k) as sp:
+                    cpu0 = time.process_time()
+                    alloc0 = sys.getallocatedblocks()
+                    phase.run(ctx)
+                    sp.annotate(
+                        cpu_s=time.process_time() - cpu0,
+                        alloc_blocks=sys.getallocatedblocks() - alloc0,
+                    )
+        else:
+            for phase in self.phases:
+                phase.run(ctx)
         self.k += 1
         return ctx
 

@@ -189,6 +189,9 @@ class LargeScaleBackend:
         self.power_series = np.empty(self.n_steps)
         self.active_series = np.empty(self.n_steps, dtype=int)
         self.total_energy_wh = 0.0
+        self.vm_energy_wh: Optional[np.ndarray] = (
+            np.zeros(self.n_vms) if config.attribute_power else None
+        )
         self.dvfs_on = config.dvfs_enabled
 
         # Fault state (only consulted when a schedule is attached).
@@ -384,6 +387,20 @@ class LargeScaleBackend:
         self.power_series[step] = power_total
         self.active_series[step] = int(np.count_nonzero(hosting_mask))
         self.total_energy_wh += power_total * self.dt_s / 3600.0
+        if self.vm_energy_wh is not None and np.any(placed):
+            # Split each hosting server's power among its VMs by demand
+            # share (equal split when the whole server idles); per-server
+            # shares sum to 1, so per-VM energy reconciles with the step
+            # total by construction.
+            owner = self.assignment[placed]
+            counts = np.bincount(owner, minlength=n_srv)
+            idle_srv = loads <= 0.0
+            denom = np.where(idle_srv, np.maximum(counts, 1), loads)
+            weights = np.where(idle_srv[owner], 1.0, demand_now[placed])
+            share = weights / denom[owner]
+            self.vm_energy_wh[placed] += (
+                power[owner] * (self.dt_s / 3600.0) * share
+            )
         if tel.enabled:
             time_s = step * self.dt_s
             # One event per server power transition (on <-> off).
@@ -613,6 +630,10 @@ class LargeScaleBackend:
             total_energy_wh, total_energy_wh / self.n_vms, self.migrations,
             self.overload_server_steps,
         )
+        attribution = None
+        if self.vm_energy_wh is not None:
+            attribution = self._attribution_summary()
+            get_telemetry().event("attribution_summary", attribution=attribution)
         return LargeScaleResult(
             scheme=self.config.scheme,
             n_vms=self.n_vms,
@@ -632,7 +653,40 @@ class LargeScaleBackend:
                 "relief_moves": float(self.relief_moves),
                 "migration_energy_wh": self.migration_energy_wh,
             },
+            attribution=attribution,
         )
+
+    def _attribution_summary(self) -> Dict[str, Any]:
+        """Per-VM energy attribution, reconciled against the run total.
+
+        Reconciliation is against ``total_energy_wh`` (datacenter power
+        integrated over steps); migration energy is a separate ledger
+        and reported as such.
+        """
+        energies = self.vm_energy_wh
+        attributed = float(energies.sum())
+        total = self.total_energy_wh
+        error = abs(attributed - total) / abs(total) if total else 0.0
+        top = np.argsort(energies)[::-1][:10]
+        summary: Dict[str, Any] = {
+            "n_periods": self.n_steps,
+            "total_wh": total,
+            "attributed_wh": attributed,
+            "unattributed_wh": 0.0,
+            "reconciliation_error": error,
+            "migration_energy_wh": self.migration_energy_wh,
+            "vm_mean_wh": float(energies.mean()),
+            "vm_max_wh": float(energies.max()),
+            "top_vms": [
+                {"vm": self.vm_ids[j], "energy_wh": float(energies[j])}
+                for j in top
+            ],
+        }
+        if self.n_vms <= 64:  # full map only at inspectable scale
+            summary["per_vm_wh"] = {
+                self.vm_ids[j]: float(energies[j]) for j in range(self.n_vms)
+            }
+        return summary
 
     # -- checkpointing -------------------------------------------------
 
@@ -659,6 +713,8 @@ class LargeScaleBackend:
             "srv_frac": encode_array(self.srv_frac),
             "srv_failed": encode_array(self.srv_failed),
         }
+        if self.vm_energy_wh is not None:
+            state["vm_energy_wh"] = encode_array(self.vm_energy_wh)
         if self.forecaster is not None:
             state["forecaster"] = self.forecaster.state_dict()
         if schedule is not None:
@@ -706,6 +762,13 @@ class LargeScaleBackend:
         self.active_series = decode_array(state["active_series"])
         self.srv_frac = decode_array(state["srv_frac"])
         self.srv_failed = decode_array(state["srv_failed"])
+        if self.vm_energy_wh is not None:
+            if "vm_energy_wh" not in state:
+                raise CheckpointError(
+                    "checkpoint lacks vm_energy_wh: it was written without "
+                    "attribute_power; resume with the run's original config"
+                )
+            self.vm_energy_wh = decode_array(state["vm_energy_wh"])
         if self.forecaster is not None:
             if "forecaster" not in state:
                 raise ValueError("checkpoint lacks forecaster state")

@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Mapping, Optional
 from repro.engine.kernel import CheckpointError, ControlPlane, PeriodContext, Phase
 from repro.faults import FaultInjector
 from repro.obs import get_telemetry
+from repro.obs.attribution import EnergyAttributor
 from repro.sim.metrics import SeriesRecorder
 from repro.util.rng import RngLike
 
@@ -74,6 +75,15 @@ class TestbedBackend:
                 self.dc, cfg.faults, on_evacuate=_on_evacuate
             )
         self.optimize_times = sorted(float(t) for t in cfg.optimize_at_s)
+        self._tracing = cfg.trace_requests_every >= 1
+        if self._tracing:
+            for i, plant in enumerate(self.plants):
+                plant.enable_request_tracing(
+                    cfg.trace_requests_every, app=f"app{i}"
+                )
+        self.attributor: Optional[EnergyAttributor] = (
+            EnergyAttributor() if cfg.attribute_power else None
+        )
         self._started = False
 
     # -- engine wiring -------------------------------------------------
@@ -122,6 +132,7 @@ class TestbedBackend:
         )
         for plant in self.plants:
             plant.warmup(cfg.warmup_s)
+            plant.drain_traces()  # warmup requests are not part of the run
 
     def prepare_replay(self) -> None:
         """Replay-resume hook: the warmup is part of the replayed prefix."""
@@ -159,6 +170,8 @@ class TestbedBackend:
             if level != plant.concurrency:
                 plant.set_concurrency(level)
         used_by_server: Dict[str, float] = {s: 0.0 for s in self.dc.servers}
+        hosted: Dict[str, list] = {s: [] for s in self.dc.servers}
+        tel = get_telemetry()
         for i, plant in enumerate(self.plants):
             stats = plant.run_period(cfg.control_period_s)
             measurement = stats.metric(cfg.sla_metric)
@@ -171,16 +184,25 @@ class TestbedBackend:
                 sid = self.dc.server_of(vm_id)
                 if sid is not None:  # evicted-and-unplaced VMs burn nothing
                     used_by_server[sid] += float(used[j])
+                    hosted[sid].append(
+                        (f"app{i}", plant.spec.tiers[j].name, float(used[j]))
+                    )
+            if self._tracing:
+                # Drain even when telemetry is off (bounds the buffer).
+                for trace in plant.drain_traces():
+                    tel.event("request_trace", time_s=now, **trace.to_event())
         ctx.data["used_by_server"] = used_by_server
+        ctx.data["hosted_tiers"] = hosted
 
     def actuate(self, ctx: PeriodContext) -> None:
         """Power with the frequencies in effect during this period."""
         now = ctx.time_s
         used_by_server = ctx.data["used_by_server"]
-        total_power = sum(
-            server.power_w(used_by_server[sid])
+        power_by_server = {
+            sid: server.power_w(used_by_server[sid])
             for sid, server in self.dc.servers.items()
-        )
+        }
+        total_power = sum(power_by_server.values())
         self.recorder.record("power/total", now, total_power)
         for sid, server in self.dc.servers.items():
             self.recorder.record(f"freq/{sid}", now, server.freq_ghz)
@@ -190,6 +212,15 @@ class TestbedBackend:
             power_w=total_power,
             active_servers=len(self.dc.active_servers()),
         )
+        if self.attributor is not None:
+            per_app = self.attributor.attribute(
+                self.config.control_period_s,
+                power_by_server,
+                ctx.data["hosted_tiers"],
+            )
+            get_telemetry().event(
+                "power_attribution", time_s=now, per_app_wh=per_app
+            )
 
     def control(self, ctx: PeriodContext) -> None:
         """Controllers + arbitrators set next period's allocations."""
@@ -217,10 +248,15 @@ class TestbedBackend:
             "testbed run complete: %d periods, mean power %.1f W",
             self.n_periods, self.recorder.summary("power/total")["mean"],
         )
+        attribution = None
+        if self.attributor is not None:
+            attribution = self.attributor.summary()
+            get_telemetry().event("attribution_summary", attribution=attribution)
         return TestbedResult(
             recorder=self.recorder,
             model=self.experiment._shared_model,
             sysid_r2=self.experiment._sysid_r2,
+            attribution=attribution,
         )
 
     # -- checkpointing (replay verification) ---------------------------

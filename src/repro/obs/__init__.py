@@ -23,9 +23,24 @@ Telemetry is **off by default**: the process-wide instance wraps
     with use_telemetry(Telemetry(JsonlBackend("run.jsonl"))):
         result = TestbedExperiment(config).run()
 
-then inspect the file with ``repro-obs summarize run.jsonl``.
+then inspect the file with ``repro-obs summarize run.jsonl`` (or
+``profile`` / ``audit`` / ``watch`` — see ``docs/OBSERVABILITY.md``).
+
+Request-path tracing and energy attribution (:mod:`repro.obs.reqtrace`,
+:mod:`repro.obs.attribution`) turn the same event log into
+PowerTracer-style per-tier, per-application energy figures; the
+:mod:`repro.obs.audit` pipeline evaluates SLO compliance and power
+savings over a finished (or still-growing) run file.
 """
 
+from repro.obs.attribution import EnergyAttributor
+from repro.obs.audit import (
+    AuditConfig,
+    AuditPipeline,
+    audit_events,
+    audit_jsonl,
+    render_audit,
+)
 from repro.obs.backends import (
     InMemoryBackend,
     JsonlBackend,
@@ -33,9 +48,19 @@ from repro.obs.backends import (
     PrometheusTextBackend,
     TelemetryBackend,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prom_escape_label,
+    prom_line,
+)
+from repro.obs.profile import profile_events, profile_jsonl, render_profile
+from repro.obs.reqtrace import RequestTrace, RequestTracer, TierVisit
 from repro.obs.summarize import (
     read_jsonl,
+    read_jsonl_lenient,
     render_summary,
     summarize_events,
     summarize_jsonl,
@@ -47,6 +72,7 @@ from repro.obs.telemetry import (
     use_telemetry,
 )
 from repro.obs.trace import NOOP_SPAN, NoopSpan, Span, Tracer
+from repro.obs.watch import JsonlFollower, LiveDashboard, watch
 
 __all__ = [
     "Counter",
@@ -67,7 +93,25 @@ __all__ = [
     "set_telemetry",
     "use_telemetry",
     "read_jsonl",
+    "read_jsonl_lenient",
     "summarize_events",
     "summarize_jsonl",
     "render_summary",
+    "prom_escape_label",
+    "prom_line",
+    "TierVisit",
+    "RequestTrace",
+    "RequestTracer",
+    "EnergyAttributor",
+    "AuditConfig",
+    "AuditPipeline",
+    "audit_events",
+    "audit_jsonl",
+    "render_audit",
+    "profile_events",
+    "profile_jsonl",
+    "render_profile",
+    "LiveDashboard",
+    "JsonlFollower",
+    "watch",
 ]

@@ -19,11 +19,19 @@ them to plain dicts, and renders a Prometheus-style text exposition.
 
 from __future__ import annotations
 
+import bisect
 import math
 import re
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "prom_escape_label",
+    "prom_line",
+]
 
 
 class Counter:
@@ -88,11 +96,20 @@ class Histogram:
     the sampling stride doubles, so only every ``stride``-th future
     observation is retained.  The decimation is deterministic — repeated
     runs of a seeded experiment produce identical snapshots.
+
+    ``buckets`` optionally fixes explicit upper boundaries (ascending).
+    With buckets set the histogram additionally keeps an *exact* count
+    per bucket (observations ≤ boundary, Prometheus ``le`` semantics),
+    and :meth:`MetricsRegistry.to_prometheus` renders the metric as a
+    native histogram with ``_bucket{le="..."}`` lines instead of a
+    quantile summary.
     """
 
     __slots__ = (
         "name",
         "max_samples",
+        "buckets",
+        "_bucket_counts",
         "_samples",
         "_stride",
         "_seen",
@@ -102,11 +119,31 @@ class Histogram:
         "_max",
     )
 
-    def __init__(self, name: str, max_samples: int = 8192):
+    def __init__(
+        self,
+        name: str,
+        max_samples: int = 8192,
+        buckets: Optional[Sequence[float]] = None,
+    ):
         if max_samples < 2:
             raise ValueError(f"max_samples must be >= 2, got {max_samples}")
         self.name = name
         self.max_samples = int(max_samples)
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds:
+                raise ValueError("buckets must be non-empty when given")
+            if any(not math.isfinite(b) for b in bounds):
+                raise ValueError(f"bucket boundaries must be finite, got {bounds}")
+            if list(bounds) != sorted(set(bounds)):
+                raise ValueError(
+                    f"bucket boundaries must be strictly ascending, got {bounds}"
+                )
+            self.buckets: Optional[Tuple[float, ...]] = bounds
+            self._bucket_counts: List[int] = [0] * len(bounds)
+        else:
+            self.buckets = None
+            self._bucket_counts = []
         self._samples: List[float] = []
         self._stride = 1
         self._seen = 0
@@ -156,6 +193,10 @@ class Histogram:
             self._min = value
         if value > self._max:
             self._max = value
+        if self.buckets is not None:
+            slot = bisect.bisect_left(self.buckets, value)
+            if slot < len(self._bucket_counts):
+                self._bucket_counts[slot] += 1
         if self._seen % self._stride == 0:
             self._samples.append(value)
             if len(self._samples) >= self.max_samples:
@@ -182,6 +223,21 @@ class Histogram:
         frac = pos - lo
         return xs[lo] * (1.0 - frac) + xs[hi] * frac
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, Prometheus ``le`` semantics.
+
+        Empty when the histogram was created without explicit buckets.
+        The ``+Inf`` bucket is not included; it always equals ``count``.
+        """
+        if self.buckets is None:
+            return []
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self._bucket_counts):
+            running += n
+            out.append((bound, running))
+        return out
+
     def summary(self) -> Dict[str, float]:
         """count / sum / mean / min / max / p50 / p90 / p99 snapshot."""
         return {
@@ -198,6 +254,7 @@ class Histogram:
     def reset(self) -> None:
         """Drop all state."""
         self._samples.clear()
+        self._bucket_counts = [0] * len(self._bucket_counts)
         self._stride = 1
         self._seen = 0
         self._count = 0
@@ -215,6 +272,32 @@ def _prom_name(name: str) -> str:
     if clean and clean[0].isdigit():
         clean = "_" + clean
     return clean
+
+
+def prom_escape_label(value: object) -> str:
+    """Escape a label value per the Prometheus text-format rules.
+
+    Backslash, double quote, and newline must be escaped inside the
+    quoted label value; everything else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def prom_line(name: str, labels: Optional[Mapping[str, object]], value: float) -> str:
+    """One Prometheus text-format sample line with escaped labels."""
+    pname = _prom_name(name)
+    if labels:
+        body = ",".join(
+            f'{_prom_name(str(k))}="{prom_escape_label(v)}"'
+            for k, v in labels.items()
+        )
+        return f"{pname}{{{body}}} {value:g}"
+    return f"{pname} {value:g}"
 
 
 class MetricsRegistry:
@@ -248,13 +331,22 @@ class MetricsRegistry:
             g = self._gauges[name] = Gauge(name)
         return g
 
-    def histogram(self, name: str, max_samples: Optional[int] = None) -> Histogram:
-        """The histogram named *name*, created on first use."""
+    def histogram(
+        self,
+        name: str,
+        max_samples: Optional[int] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """The histogram named *name*, created on first use.
+
+        ``buckets`` only takes effect at creation; later calls return
+        the existing histogram unchanged.
+        """
         h = self._histograms.get(name)
         if h is None:
             self._check_free(name, self._histograms)
             h = self._histograms[name] = Histogram(
-                name, max_samples or self.histogram_max_samples
+                name, max_samples or self.histogram_max_samples, buckets=buckets
             )
         return h
 
@@ -318,9 +410,15 @@ class MetricsRegistry:
             lines.append(f"{pname} {g.value:g}")
         for name, h in sorted(self._histograms.items()):
             pname = _prom_name(name)
-            lines.append(f"# TYPE {pname} summary")
-            for q in (0.5, 0.9, 0.99):
-                lines.append(f'{pname}{{quantile="{q:g}"}} {h.quantile(q):g}')
+            if h.buckets is not None:
+                lines.append(f"# TYPE {pname} histogram")
+                for bound, cum in h.cumulative_buckets():
+                    lines.append(f'{pname}_bucket{{le="{bound:g}"}} {cum:g}')
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {h.count:g}')
+            else:
+                lines.append(f"# TYPE {pname} summary")
+                for q in (0.5, 0.9, 0.99):
+                    lines.append(f'{pname}{{quantile="{q:g}"}} {h.quantile(q):g}')
             lines.append(f"{pname}_sum {h.sum:g}")
             lines.append(f"{pname}_count {h.count:g}")
         return "\n".join(lines) + ("\n" if lines else "")

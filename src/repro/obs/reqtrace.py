@@ -1,0 +1,135 @@
+"""Sampled request-path tracing through the multi-tier DES plants.
+
+PowerTracer (arXiv:1007.4890) traces individual requests through the
+tiers of a multi-tier application and attributes server power to request
+service.  This module is the request half of that join: a deterministic
+every-Nth sampler that a :class:`~repro.apps.rubbos.MultiTierApp`
+consults at the start of each client request.  A sampled request records
+one :class:`TierVisit` per tier — sojourn time (admission wait +
+service) and CPU work in GHz-seconds — and the finished
+:class:`RequestTrace` carries a stable trace ID (``<app>/<request
+index>``) plus the end-to-end response time.
+
+Determinism contract
+--------------------
+Sampling is **counter-based**, never random: the tracer counts request
+starts and samples when ``index % sample_every == 0``.  The traced and
+untraced client paths draw the identical demand/think-time RNG sequence,
+so enabling tracing cannot perturb the simulated control loop — golden
+event-log hashes stay bit-identical (pinned by
+``tests/test_reqtrace.py``).
+
+Buffering
+---------
+Finished traces accumulate in the tracer until :meth:`RequestTracer.drain`
+— the harness backend drains once per control period and emits one
+``{"kind": "request_trace"}`` telemetry event per sampled request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["TierVisit", "RequestTrace", "RequestTracer"]
+
+
+@dataclass(frozen=True)
+class TierVisit:
+    """One tier's share of a traced request."""
+
+    tier: str
+    sojourn_s: float
+    work_ghz_s: float
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One sampled request's full path through the application."""
+
+    trace_id: str
+    app: str
+    start_s: float
+    rt_s: float
+    tiers: Tuple[TierVisit, ...]
+
+    def to_event(self) -> Dict[str, object]:
+        """The ``{"kind": "request_trace"}`` telemetry record fields."""
+        return {
+            "trace_id": self.trace_id,
+            "app": self.app,
+            "start_s": self.start_s,
+            "rt_ms": self.rt_s * 1000.0,
+            "tiers": [
+                {
+                    "tier": v.tier,
+                    "sojourn_ms": v.sojourn_s * 1000.0,
+                    "work_ghz_s": v.work_ghz_s,
+                }
+                for v in self.tiers
+            ],
+        }
+
+
+class RequestTracer:
+    """Deterministic every-Nth request sampler with a drainable buffer.
+
+    One tracer per application.  ``begin()`` is called at every request
+    start and returns the request's index when it is sampled (``-1``
+    otherwise); the client then collects per-tier visits and hands them
+    to ``finish()``.  ``sample_every=1`` traces every request.
+    """
+
+    __slots__ = ("app", "sample_every", "_n_started", "_n_sampled", "_buffer")
+
+    def __init__(self, app: str, sample_every: int):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.app = str(app)
+        self.sample_every = int(sample_every)
+        self._n_started = 0
+        self._n_sampled = 0
+        self._buffer: List[RequestTrace] = []
+
+    @property
+    def n_started(self) -> int:
+        """Requests seen by ``begin()`` so far (sampled or not)."""
+        return self._n_started
+
+    @property
+    def n_sampled(self) -> int:
+        """Requests selected for tracing so far."""
+        return self._n_sampled
+
+    def begin(self) -> int:
+        """Count one request start; its index if sampled, else ``-1``."""
+        index = self._n_started
+        self._n_started = index + 1
+        if index % self.sample_every:
+            return -1
+        self._n_sampled += 1
+        return index
+
+    def finish(
+        self,
+        index: int,
+        start_s: float,
+        end_s: float,
+        visits: Sequence[Tuple[str, float, float]],
+    ) -> RequestTrace:
+        """Record a sampled request: ``visits`` is ``(tier, sojourn_s,
+        work_ghz_s)`` per tier, in visit order."""
+        trace = RequestTrace(
+            trace_id=f"{self.app}/{index}",
+            app=self.app,
+            start_s=float(start_s),
+            rt_s=float(end_s) - float(start_s),
+            tiers=tuple(TierVisit(t, float(s), float(w)) for t, s, w in visits),
+        )
+        self._buffer.append(trace)
+        return trace
+
+    def drain(self) -> List[RequestTrace]:
+        """Return and clear all buffered finished traces."""
+        out, self._buffer = self._buffer, []
+        return out

@@ -17,17 +17,30 @@ during an instrumented run and reduces them to:
 from __future__ import annotations
 
 import json
+import logging
 import math
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.util.tables import format_table
 
-__all__ = ["read_jsonl", "summarize_events", "summarize_jsonl", "render_summary"]
+__all__ = [
+    "read_jsonl",
+    "read_jsonl_lenient",
+    "summarize_events",
+    "summarize_jsonl",
+    "render_summary",
+]
+
+logger = logging.getLogger(__name__)
 
 
 def read_jsonl(path: Union[str, Path]) -> List[dict]:
-    """Parse every non-empty line of *path* as one JSON record."""
+    """Parse every non-empty line of *path* as one JSON record.
+
+    Raises :class:`ValueError` naming the first malformed line; use
+    :func:`read_jsonl_lenient` to tolerate truncated/corrupt files.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -39,6 +52,34 @@ def read_jsonl(path: Union[str, Path]) -> List[dict]:
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
     return records
+
+
+def read_jsonl_lenient(path: Union[str, Path]) -> Tuple[List[dict], int]:
+    """Like :func:`read_jsonl`, but skip-and-count malformed lines.
+
+    A run killed mid-write leaves a truncated last line (and a crashed
+    writer can interleave garbage); analysis tooling should still read
+    the intact prefix.  Returns ``(records, n_malformed)``; non-object
+    lines (e.g. a bare JSON number) count as malformed too.
+    """
+    records: List[dict] = []
+    n_malformed = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                n_malformed += 1
+                logger.debug("%s:%d: skipping malformed JSONL line", path, lineno)
+                continue
+            if not isinstance(record, dict):
+                n_malformed += 1
+                continue
+            records.append(record)
+    return records, n_malformed
 
 
 def _mean(xs: List[float]) -> float:
@@ -62,6 +103,8 @@ def summarize_events(records: List[dict]) -> dict:
     migration_events = 0
     metrics: Optional[dict] = None
     n_periods = 0
+    request_traces: Dict[str, int] = {}
+    attribution: Optional[dict] = None
 
     for rec in records:
         kind = rec.get("kind")
@@ -112,6 +155,11 @@ def summarize_events(records: List[dict]) -> dict:
             power = rec.get("power_w")
             if power is not None and math.isfinite(float(power)):
                 power_samples.append(float(power))
+        elif kind == "request_trace":
+            app = str(rec.get("app", "?"))
+            request_traces[app] = request_traces.get(app, 0) + 1
+        elif kind == "attribution_summary":
+            attribution = rec.get("attribution")
         elif kind == "metrics":
             metrics = rec.get("metrics")
 
@@ -153,13 +201,23 @@ def summarize_events(records: List[dict]) -> dict:
             "mean_w": _mean(power_samples),
             "max_w": max(power_samples) if power_samples else float("nan"),
         },
+        "request_traces": request_traces,
+        "attribution": attribution,
         "metrics": metrics,
     }
 
 
 def summarize_jsonl(path: Union[str, Path]) -> dict:
-    """``read_jsonl`` + ``summarize_events`` in one call."""
-    return summarize_events(read_jsonl(path))
+    """Lenient read + :func:`summarize_events` in one call.
+
+    Malformed lines (a truncated tail, mid-file corruption) are skipped
+    and surfaced as ``n_malformed`` in the summary instead of aborting
+    the analysis.
+    """
+    records, n_malformed = read_jsonl_lenient(path)
+    summary = summarize_events(records)
+    summary["n_malformed"] = n_malformed
+    return summary
 
 
 def _fmt(value: float, digits: int = 1) -> str:

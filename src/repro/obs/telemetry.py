@@ -39,11 +39,17 @@ class Telemetry:
         backend: Optional[TelemetryBackend] = None,
         registry: Optional[MetricsRegistry] = None,
         record_spans: bool = True,
+        span_sample_every: int = 1,
     ):
         self.backend = backend or NullBackend()
         self.registry = registry or MetricsRegistry()
         self.enabled = bool(self.backend.enabled)
-        self.tracer = Tracer(self.registry, self.backend, record_spans=record_spans)
+        self.tracer = Tracer(
+            self.registry,
+            self.backend,
+            record_spans=record_spans,
+            sample_every=span_sample_every,
+        )
         bind = getattr(self.backend, "bind_registry", None)
         if bind is not None:
             bind(self.registry)

@@ -80,12 +80,30 @@ class Span:
 
 
 class Tracer:
-    """Creates spans and routes finished ones to a registry + backend."""
+    """Creates spans and routes finished ones to a registry + backend.
 
-    def __init__(self, registry, backend, record_spans: bool = True):
+    ``sample_every`` keeps only every Nth finished span *record* per
+    span name (the first is always kept); durations still feed the
+    ``span.<name>`` histograms for **every** span, so aggregate timing
+    stays exact while backend/serialization cost drops by ~N.  The
+    counter is per name and deterministic — no RNG is consulted, so
+    sampling can never perturb a seeded run.
+    """
+
+    def __init__(
+        self,
+        registry,
+        backend,
+        record_spans: bool = True,
+        sample_every: int = 1,
+    ):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.registry = registry
         self.backend = backend
         self.record_spans = record_spans
+        self.sample_every = int(sample_every)
+        self._finished_counts: Dict[str, int] = {}
         self._stack: List[Span] = []
 
     @property
@@ -101,6 +119,11 @@ class Tracer:
         self.registry.histogram(f"span.{span.name}").observe(span.duration_s)
         if not self.record_spans:
             return
+        if self.sample_every > 1:
+            seen = self._finished_counts.get(span.name, 0)
+            self._finished_counts[span.name] = seen + 1
+            if seen % self.sample_every != 0 and not error:
+                return
         record: Dict[str, object] = {
             "kind": "span",
             "name": span.name,

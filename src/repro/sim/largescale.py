@@ -77,6 +77,14 @@ class LargeScaleConfig:
     ``None`` (default) leaves the run byte-identical to a fault-free
     build.
 
+    ``attribute_power=True`` splits every hosting server's per-step
+    power among its placed VMs in proportion to demand (equal split on
+    a zero-load server) and accumulates per-VM energy — the large-scale
+    counterpart of the testbed's per-tier attribution.  Read-only: it
+    never changes placement, DVFS, or the power/energy totals; the
+    result's ``attribution`` entry reconciles with ``total_energy_wh``
+    (migration energy is accounted separately).
+
     ``minslack_prune`` enables the Minimum Slack dominance bound
     (bit-identical placements, fewer search nodes); ``incremental``
     seeds each optimizer invocation's per-server searches with the
@@ -104,6 +112,7 @@ class LargeScaleConfig:
     migration_overhead_w: float = 30.0
     migration_bandwidth_mbps: float = 1000.0
     faults: Optional[FaultSchedule] = None
+    attribute_power: bool = False
     seed: int = 7
 
     def __post_init__(self):
@@ -159,6 +168,9 @@ class LargeScaleResult:
     power_series_w: np.ndarray
     active_series: np.ndarray
     info: Dict[str, float] = field(default_factory=dict)
+    #: Per-VM energy attribution summary (``attribute_power=True`` runs
+    #: only); reconciles with ``total_energy_wh`` minus migration energy.
+    attribution: Optional[Dict[str, object]] = None
 
 
 def run_largescale(

@@ -75,6 +75,15 @@ class TestbedConfig:
     a VM re-placed after a crash serves nothing for
     ``fault_downtime_s`` (restart time).  ``None`` (default) leaves the
     run byte-identical to a fault-free build.
+
+    ``trace_requests_every=N`` (N >= 1) traces every Nth client request
+    through its tiers and emits ``request_trace`` telemetry events; 0
+    (default) disables tracing.  ``attribute_power=True`` joins per-tier
+    CPU usage against per-server power each period and accumulates
+    PowerTracer-style per-app/per-tier energy (``power_attribution`` /
+    ``attribution_summary`` events + ``TestbedResult.attribution``).
+    Both are counter-based and read-only: enabling them never changes
+    control decisions or the simulated trajectory.
     """
 
     __test__ = False
@@ -100,6 +109,8 @@ class TestbedConfig:
     faults: Optional[FaultSchedule] = None
     fault_downtime_s: float = 30.0
     mpc_warm_start: bool = True
+    trace_requests_every: int = 0
+    attribute_power: bool = False
     seed: int = 2010
 
     def __post_init__(self):
@@ -119,6 +130,11 @@ class TestbedConfig:
                 f"demand_scale_range must satisfy 0 < lo <= hi, got {self.demand_scale_range}"
             )
         check_positive("fault_downtime_s", self.fault_downtime_s)
+        if self.trace_requests_every < 0:
+            raise ValueError(
+                f"trace_requests_every must be >= 0 (0 = off), "
+                f"got {self.trace_requests_every}"
+            )
 
 
 @dataclass
@@ -134,6 +150,10 @@ class TestbedResult:
     recorder: SeriesRecorder
     model: ARXModel
     sysid_r2: float
+    #: Cumulative per-app/per-tier energy attribution (see
+    #: :class:`repro.obs.attribution.EnergyAttributor`); ``None`` unless
+    #: the run had ``attribute_power=True``.
+    attribution: Optional[dict] = None
 
     def rt_summary(self, app_index: int) -> dict:
         """Mean/std/min/max of an app's measured response times."""

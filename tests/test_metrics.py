@@ -69,6 +69,23 @@ class TestSeriesRecorder:
     def test_max_points_validation(self):
         with pytest.raises(ValueError):
             SeriesRecorder(max_points=1)
+        with pytest.raises(ValueError):
+            SeriesRecorder(max_points=0)
+
+    def test_max_points_two_is_the_smallest_cap(self):
+        r = SeriesRecorder(max_points=2)
+        for i in range(1000):
+            r.record("x", float(i), float(i))
+        assert len(r.values("x")) < 2
+        assert r.count("x") == 1000
+        # The retained sample is the series start, never a random point.
+        assert r.times("x")[0] == 0.0
+
+    def test_decimated_recorder_with_no_samples_is_empty(self):
+        r = SeriesRecorder(max_points=8)
+        assert r.values("void").shape == (0,)
+        assert r.count("void") == 0
+        assert math.isnan(r.summary("void")["mean"])
 
     def test_clear(self):
         r = SeriesRecorder(max_points=8)

@@ -319,11 +319,40 @@ class TestSummarize:
         assert "mpc.solve" in text
         assert "app" in text
 
-    def test_malformed_line_reports_line_number(self, tmp_path):
+    def test_strict_reader_reports_line_number(self, tmp_path):
+        from repro.obs import read_jsonl
+
         path = tmp_path / "bad.jsonl"
         path.write_text('{"kind": "span"}\nnot json\n')
         with pytest.raises(ValueError, match=r":2:"):
-            summarize_jsonl(path)
+            read_jsonl(path)
+
+    def test_summarize_skips_and_counts_malformed_lines(self, tmp_path):
+        # A run killed mid-write truncates the last record; mid-file
+        # corruption (here: a cut-off record and a bare scalar) must be
+        # skipped and counted, not abort the analysis.
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "testbed.period", "time_s": 15.0, "power_w": 400.0}\n'
+            'not json\n'
+            '42\n'
+            '{"kind": "testbed.period", "time_s": 30.0, "power_w": 500.0}\n'
+            '{"kind": "testbed.per'
+        )
+        summary = summarize_jsonl(path)
+        assert summary["n_malformed"] == 3
+        assert summary["n_records"] == 2
+        assert summary["power"]["samples"] == 2
+        assert summary["power"]["mean_w"] == pytest.approx(450.0)
+
+    def test_lenient_reader_counts_nothing_on_clean_file(self, tmp_path):
+        from repro.obs import read_jsonl_lenient
+
+        path = tmp_path / "ok.jsonl"
+        path.write_text('{"kind": "metrics"}\n\n{"kind": "span"}\n')
+        records, n_malformed = read_jsonl_lenient(path)
+        assert n_malformed == 0
+        assert [r["kind"] for r in records] == ["metrics", "span"]
 
 
 class TestInstrumentationIntegration:

@@ -43,9 +43,17 @@ from repro.util.tables import format_table
 
 
 def _telemetry_scope(jsonl_path: Optional[str]):
-    """JSONL telemetry scope when a path was given, else a no-op scope."""
+    """JSONL telemetry scope when a path was given, else a no-op scope.
+
+    Also arms the SIGTERM handler so a terminated run unwinds through
+    the ``with`` block and the event log is flushed and closed rather
+    than truncated mid-line.
+    """
     if jsonl_path is None:
         return contextlib.nullcontext()
+    from repro.obs import install_sigterm_flush
+
+    install_sigterm_flush()
     return use_telemetry(Telemetry(JsonlBackend(jsonl_path)))
 
 
@@ -573,6 +581,12 @@ def main_scenario(argv: Optional[List[str]] = None) -> int:
         help="check a scenario (registry name or JSON spec file)",
     )
     p_val.add_argument("scenario", help="registered name or path to a spec JSON")
+    p_show = sub.add_parser(
+        "show",
+        help="print a fully-resolved scenario spec as JSON "
+        "(editable, then runnable with repro-sim --scenario FILE)",
+    )
+    p_show.add_argument("scenario", help="registered name or path to a spec JSON")
 
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
@@ -594,6 +608,12 @@ def main_scenario(argv: Optional[List[str]] = None) -> int:
         return 0
 
     spec = _load_scenario(args.scenario)
+    if args.command == "show":
+        import json as _json
+
+        print(_json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+
     problems = spec.validate()
     if problems:
         for p in problems:

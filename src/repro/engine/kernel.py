@@ -41,7 +41,7 @@ import logging
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.engine.interfaces import Checkpointable, EnginePhase
 from repro.obs import get_telemetry
@@ -217,8 +217,21 @@ class ControlPlane:
         self.k += 1
         return ctx
 
-    def run(self, until_period: Optional[int] = None) -> int:
+    def run(
+        self,
+        until_period: Optional[int] = None,
+        on_period: Optional[
+            Callable[["ControlPlane", PeriodContext], Optional[bool]]
+        ] = None,
+    ) -> int:
         """Run to completion (or to *until_period*, exclusive).
+
+        ``on_period(engine, ctx)`` — when given — is called after every
+        completed period; returning ``False`` stops the run early (any
+        other return value, including ``None``, continues).  The
+        experiment runner uses the hook for periodic checkpointing and
+        cooperative cancellation; it runs outside the phase spans, so it
+        never perturbs profiling or the golden event logs.
 
         Returns the number of periods executed by this call.
         """
@@ -227,8 +240,10 @@ class ControlPlane:
         )
         executed = 0
         while self.k < end:
-            self.step()
+            ctx = self.step()
             executed += 1
+            if on_period is not None and on_period(self, ctx) is False:
+                break
         return executed
 
     # -- checkpoint / resume -------------------------------------------

@@ -47,6 +47,8 @@ from repro.obs.backends import (
     NullBackend,
     PrometheusTextBackend,
     TelemetryBackend,
+    close_open_backends,
+    install_sigterm_flush,
 )
 from repro.obs.metrics import (
     Counter,
@@ -84,6 +86,8 @@ __all__ = [
     "InMemoryBackend",
     "JsonlBackend",
     "PrometheusTextBackend",
+    "close_open_backends",
+    "install_sigterm_flush",
     "Span",
     "NoopSpan",
     "NOOP_SPAN",

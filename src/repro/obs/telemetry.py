@@ -1,8 +1,10 @@
-"""The telemetry facade and the process-wide current instance.
+"""The telemetry facade and the (thread-local) current instance.
 
 :class:`Telemetry` bundles a :class:`~repro.obs.metrics.MetricsRegistry`,
 a :class:`~repro.obs.trace.Tracer`, and a backend into the single object
-instrumentation sites talk to.  The library-wide default is a disabled
+instrumentation sites talk to.  The current instance is **per thread**
+(so concurrent runs — e.g. experiment-runner workers — each keep their
+own event log); the default in every thread is a disabled
 instance over :class:`~repro.obs.backends.NullBackend`; every
 instrumented call site first checks ``tel.enabled``, so the disabled
 path costs one global lookup and one attribute check.
@@ -21,6 +23,7 @@ flushed and released.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -111,22 +114,38 @@ class Telemetry:
 
 
 _NULL_TELEMETRY = Telemetry(NullBackend())
-_current: Telemetry = _NULL_TELEMETRY
+
+
+class _TelemetryState(threading.local):
+    """Per-thread current telemetry.
+
+    The class attribute is the default every thread starts from; an
+    assignment in :func:`set_telemetry` shadows it for that thread only.
+    Thread-locality is what lets the experiment runner
+    (:mod:`repro.service.runner`) drive several instrumented runs
+    concurrently, each writing its own event log, without the workers
+    seeing each other's backends.
+    """
+
+    current: Telemetry = _NULL_TELEMETRY
+
+
+_state = _TelemetryState()
 
 
 def get_telemetry() -> Telemetry:
-    """The process-wide current telemetry (disabled null by default)."""
-    return _current
+    """The current telemetry for this thread (disabled null by default)."""
+    return _state.current
 
 
 def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
-    """Install *telemetry* as current (None restores the disabled null).
+    """Install *telemetry* as current for this thread (None restores
+    the disabled null).
 
     Returns the previously current instance so callers can restore it.
     """
-    global _current
-    previous = _current
-    _current = telemetry if telemetry is not None else _NULL_TELEMETRY
+    previous = _state.current
+    _state.current = telemetry if telemetry is not None else _NULL_TELEMETRY
     return previous
 
 

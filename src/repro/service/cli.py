@@ -1,0 +1,318 @@
+"""The ``repro-serve`` entry point.
+
+``serve`` runs the control-plane service in the foreground (SIGTERM and
+Ctrl-C shut it down gracefully: in-flight runs are checkpointed into
+the store and requeued, event logs are flushed and closed, and a later
+``serve`` resumes them to bit-identical results).  The other
+subcommands are thin HTTP clients against a running service:
+
+* ``submit SCENARIO`` — queue one run (``--set params.seed=7`` applies
+  dotted-path overrides; ``--wait`` polls to completion and exits
+  non-zero if the run failed);
+* ``status [RUN_ID]`` — one run, or a queue/status overview;
+* ``results RUN_ID`` — the stored result summary (``--audit`` fetches
+  the audit report instead and exits 1 when the SLO audit failed,
+  mirroring ``repro-obs audit``);
+* ``sweep SCENARIO --set params.seed=1,2,3 ...`` — expand a parameter
+  grid server-side into one job per configuration.
+
+SCENARIO is a registered name (``repro-scenario list``) or a path to a
+spec JSON file — the same resolution every other CLI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.util.logsetup import add_verbosity_flags, configure_logging
+
+__all__ = ["main"]
+
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+# -- HTTP client helpers ----------------------------------------------
+
+
+def _request(
+    method: str, url: str, body: Optional[Dict[str, Any]] = None
+) -> Any:
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            payload = resp.read()
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace").strip()
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except ValueError:
+            pass
+        print(f"repro-serve: {exc.code} {exc.reason}: {detail}", file=sys.stderr)
+        raise SystemExit(1)
+    except urllib.error.URLError as exc:
+        print(
+            f"repro-serve: cannot reach {url}: {exc.reason} "
+            "(is the service running? see 'repro-serve serve')",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    if not payload:
+        return None
+    return json.loads(payload)
+
+
+def _parse_value(text: str) -> Any:
+    """A --set value: JSON when it parses, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_sets(pairs: List[str], grid: bool) -> Dict[str, Any]:
+    """``--set path=value`` pairs; with *grid*, values are comma lists."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        path, sep, raw = pair.partition("=")
+        if not sep or not path:
+            raise SystemExit(f"repro-serve: --set needs PATH=VALUE, got {pair!r}")
+        if grid:
+            out[path] = [_parse_value(v) for v in raw.split(",") if v != ""]
+        else:
+            out[path] = _parse_value(raw)
+    return out
+
+
+def _scenario_body(scenario: str, overrides: Dict[str, Any]) -> Dict[str, Any]:
+    """Request body for a scenario argument (registry name or file path)."""
+    body: Dict[str, Any]
+    try:
+        with open(scenario, "r", encoding="utf-8") as fh:
+            body = {"spec": json.load(fh)}
+    except OSError:
+        body = {"scenario": scenario}
+    except ValueError as exc:
+        raise SystemExit(f"repro-serve: {scenario} is not JSON: {exc}")
+    if overrides:
+        body["overrides"] = overrides
+    return body
+
+
+def _wait_for_runs(url: str, run_ids: List[int], poll_s: float) -> List[dict]:
+    """Poll until every run id is terminal; returns the final documents."""
+    done: Dict[int, dict] = {}
+    while len(done) < len(run_ids):
+        for run_id in run_ids:
+            if run_id in done:
+                continue
+            doc = _request("GET", f"{url}/api/runs/{run_id}")
+            if doc["status"] in ("done", "failed", "cancelled"):
+                done[run_id] = doc
+        if len(done) < len(run_ids):
+            time.sleep(poll_s)
+    return [done[run_id] for run_id in run_ids]
+
+
+# -- subcommands -------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import install_sigterm_flush
+    from repro.service.api import ControlPlaneService, ServiceConfig
+
+    install_sigterm_flush()  # SIGTERM -> SystemExit -> graceful path below
+    service = ControlPlaneService(ServiceConfig(
+        db_path=args.db,
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        audit_violation_budget=args.audit_violation_budget,
+    ))
+    print(
+        f"repro-serve: listening on {service.url} "
+        f"({args.workers} workers, store {args.db})",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print(
+            "repro-serve: shutting down (checkpointing in-flight runs)",
+            file=sys.stderr, flush=True,
+        )
+        service.shutdown(graceful=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    body = _scenario_body(args.scenario, _parse_sets(args.set, grid=False))
+    if args.force:
+        body["force"] = True
+    doc = _request("POST", f"{args.url}/api/runs", body)
+    run = doc["run"]
+    cached = " (cached)" if doc.get("cached") else ""
+    print(f"run {run['id']}: {run['name']} [{run['status']}]{cached}")
+    if not args.wait:
+        return 0
+    final = _wait_for_runs(args.url, [int(run["id"])], args.poll)[0]
+    print(f"run {final['id']}: {final['status']}"
+          + (f" — {final['error']}" if final.get("error") else ""))
+    if args.json:
+        print(json.dumps(final, indent=2))
+    return 0 if final["status"] == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.run_id is not None:
+        doc = _request("GET", f"{args.url}/api/runs/{args.run_id}")
+        print(json.dumps(doc, indent=2))
+        return 0
+    health = _request("GET", f"{args.url}/api/health")
+    if args.json:
+        print(json.dumps(health, indent=2))
+        return 0
+    runs = health["runs"]
+    print(
+        f"service ok — {health['busy_workers']}/{health['workers']} workers busy, "
+        + ", ".join(f"{runs[s]} {s}" for s in sorted(runs) if runs[s])
+    )
+    for run in _request("GET", f"{args.url}/api/runs"):
+        progress = ""
+        if run["n_periods"]:
+            progress = f" {run['periods_done']}/{run['n_periods']}"
+        print(f"  run {run['id']:>4} {run['status']:>10}{progress}  {run['name']}")
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    if args.audit:
+        doc = _request("GET", f"{args.url}/api/runs/{args.run_id}/audit")
+        print(json.dumps(doc, indent=2))
+        return 0 if doc["passed"] else 1
+    doc = _request("GET", f"{args.url}/api/runs/{args.run_id}/result")
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = _parse_sets(args.set, grid=True)
+    if not grid:
+        raise SystemExit("repro-serve: sweep needs at least one --set PATH=V1,V2,...")
+    body = _scenario_body(args.scenario, {})
+    body["grid"] = grid
+    if args.name:
+        body["name"] = args.name
+    doc = _request("POST", f"{args.url}/api/sweeps", body)
+    sweep, run_ids = doc["sweep"], doc["run_ids"]
+    print(f"sweep {sweep['id']}: {sweep['name']} — {sweep['n_jobs']} jobs queued")
+    if not args.wait:
+        return 0
+    finals = _wait_for_runs(args.url, [int(i) for i in run_ids], args.poll)
+    n_done = sum(1 for d in finals if d["status"] == "done")
+    print(f"sweep {sweep['id']}: {n_done}/{len(finals)} done")
+    for doc in finals:
+        if doc["status"] != "done":
+            print(f"  run {doc['id']}: {doc['status']} — {doc.get('error')}")
+    return 0 if n_done == len(finals) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Run (or talk to) the long-running control-plane "
+        "service: HTTP API + experiment runner + SQLite results store "
+        "(see docs/SERVICE.md).",
+    )
+    add_verbosity_flags(parser)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the service in the foreground")
+    p_serve.add_argument("--db", default="repro-service.db",
+                         help="SQLite results-store path")
+    p_serve.add_argument("--data-dir", default="repro-service-data",
+                         help="directory for per-run event logs")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent experiment workers")
+    p_serve.add_argument("--checkpoint-every", type=int, default=5, metavar="K",
+                         help="checkpoint in-flight runs every K periods")
+    p_serve.add_argument("--audit-violation-budget", type=float, default=1.0,
+                         help="violation budget for the per-run SLO audit "
+                         "(default 1.0: record, don't fail, short runs)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    def _client_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default=DEFAULT_URL,
+                       help=f"service base URL (default {DEFAULT_URL})")
+
+    p_sub = sub.add_parser("submit", help="queue one scenario run")
+    p_sub.add_argument("scenario", help="registered name or spec JSON path")
+    p_sub.add_argument("--set", action="append", default=[], metavar="PATH=VALUE",
+                       help="dotted-path override, e.g. params.seed=7 "
+                       "(repeatable)")
+    p_sub.add_argument("--force", action="store_true",
+                       help="queue even if an identical spec already ran")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="poll until the run finishes; exit 1 on failure")
+    p_sub.add_argument("--poll", type=float, default=0.5,
+                       help="poll interval for --wait (seconds)")
+    p_sub.add_argument("--json", action="store_true",
+                       help="with --wait: print the final run document")
+    _client_flags(p_sub)
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_stat = sub.add_parser("status", help="service overview or one run")
+    p_stat.add_argument("run_id", nargs="?", type=int, default=None)
+    p_stat.add_argument("--json", action="store_true")
+    _client_flags(p_stat)
+    p_stat.set_defaults(func=_cmd_status)
+
+    p_res = sub.add_parser("results", help="fetch a finished run's results")
+    p_res.add_argument("run_id", type=int)
+    p_res.add_argument("--audit", action="store_true",
+                       help="fetch the SLO/power audit report instead; "
+                       "exit 1 when the audit failed")
+    _client_flags(p_res)
+    p_res.set_defaults(func=_cmd_results)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="submit a parameter-grid sweep (one job per config)"
+    )
+    p_sweep.add_argument("scenario", help="registered name or spec JSON path")
+    p_sweep.add_argument("--set", action="append", default=[],
+                         metavar="PATH=V1,V2,...",
+                         help="grid axis: dotted path and comma-separated "
+                         "values (repeatable; cartesian product)")
+    p_sweep.add_argument("--name", default=None, help="sweep label")
+    p_sweep.add_argument("--wait", action="store_true",
+                         help="poll until every job finishes; exit 1 if any "
+                         "failed")
+    p_sweep.add_argument("--poll", type=float, default=0.5)
+    _client_flags(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+    # Ctrl-C on a client subcommand should not dump a traceback.
+    if args.command != "serve":
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,643 @@
+"""The persistence layer: a SQLite results store.
+
+One :class:`ResultsStore` holds everything the control-plane service
+knows: submitted runs (with their full scenario spec JSON), grid
+sweeps, mid-run checkpoints, result summaries, and SLO/power audit
+reports.  Plain stdlib ``sqlite3`` — no new dependencies:
+
+* **WAL mode** so the HTTP API (readers) and runner workers (writers)
+  coexist without blocking each other;
+* **schema-versioned migrations** — the version lives in
+  ``PRAGMA user_version`` and every upgrade step is an entry in
+  :data:`MIGRATIONS`, applied in order inside one transaction each;
+* **typed query helpers** — rows come back as frozen dataclasses
+  (:class:`RunRow`, :class:`SweepRow`, :class:`CheckpointRow`,
+  :class:`AuditRow`), never raw tuples;
+* **per-thread connections** — ``sqlite3`` connections are not
+  thread-safe, so the store hands each thread its own (workers and the
+  HTTP server threads all share one store object).
+
+Submission is **idempotent** by default: the canonical JSON of a spec
+is hashed (:func:`spec_hash`) and re-submitting an identical spec
+returns the existing non-failed run instead of queuing a duplicate.
+
+The job-queue claim (:meth:`ResultsStore.claim_run`) is a single
+``UPDATE ... RETURNING`` over the oldest queued row inside an immediate
+transaction, so two workers can never claim the same run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MIGRATIONS",
+    "AuditRow",
+    "CheckpointRow",
+    "ResultsStore",
+    "RunRow",
+    "StoreError",
+    "SweepRow",
+    "spec_hash",
+    "ACTIVE_STATUSES",
+    "TERMINAL_STATUSES",
+]
+
+
+class StoreError(RuntimeError):
+    """The store cannot service the request (bad schema, bad state)."""
+
+
+#: Statuses a run moves through.  queued -> running -> done/failed;
+#: cancel requests take running -> cancelling -> cancelled (queued runs
+#: cancel immediately); a graceful shutdown or crash recovery puts
+#: running back to queued (the latest checkpoint resumes it).
+ACTIVE_STATUSES: Tuple[str, ...] = ("queued", "running", "cancelling")
+TERMINAL_STATUSES: Tuple[str, ...] = ("done", "failed", "cancelled")
+
+_ALL_STATUSES = ACTIVE_STATUSES + TERMINAL_STATUSES
+
+_DDL_V1 = """
+CREATE TABLE sweeps (
+    id         INTEGER PRIMARY KEY,
+    name       TEXT NOT NULL,
+    base_json  TEXT NOT NULL,
+    grid_json  TEXT NOT NULL,
+    n_jobs     INTEGER NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE runs (
+    id           INTEGER PRIMARY KEY,
+    name         TEXT NOT NULL,
+    harness      TEXT NOT NULL,
+    spec_json    TEXT NOT NULL,
+    spec_hash    TEXT NOT NULL,
+    sweep_id     INTEGER REFERENCES sweeps(id),
+    status       TEXT NOT NULL DEFAULT 'queued'
+        CHECK (status IN ('queued','running','cancelling',
+                          'done','failed','cancelled')),
+    worker       TEXT,
+    error        TEXT,
+    created_at   REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    periods_done INTEGER NOT NULL DEFAULT 0,
+    n_periods    INTEGER,
+    event_log    TEXT,
+    event_hash   TEXT,
+    n_events     INTEGER,
+    result_json  TEXT
+);
+CREATE INDEX runs_status ON runs(status);
+CREATE INDEX runs_spec_hash ON runs(spec_hash);
+CREATE INDEX runs_sweep ON runs(sweep_id);
+CREATE TABLE checkpoints (
+    id         INTEGER PRIMARY KEY,
+    run_id     INTEGER NOT NULL REFERENCES runs(id),
+    period     INTEGER NOT NULL,
+    log_offset INTEGER NOT NULL DEFAULT 0,
+    doc_json   TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    UNIQUE (run_id, period)
+);
+CREATE TABLE audits (
+    run_id      INTEGER PRIMARY KEY REFERENCES runs(id),
+    passed      INTEGER NOT NULL,
+    report_json TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+"""
+
+#: Migration scripts, one per schema version; ``MIGRATIONS[i]`` takes a
+#: database from version ``i`` to ``i + 1``.  Append — never edit — so
+#: any existing store upgrades in order.
+MIGRATIONS: Tuple[str, ...] = (_DDL_V1,)
+
+SCHEMA_VERSION = len(MIGRATIONS)
+
+
+def spec_hash(doc: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical (sorted-keys) JSON of a spec doc."""
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def _json_or_none(text: Optional[str]) -> Optional[Any]:
+    return None if text is None else json.loads(text)
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One submitted run (a row of the ``runs`` table)."""
+
+    id: int
+    name: str
+    harness: str
+    spec_json: str
+    spec_hash: str
+    sweep_id: Optional[int]
+    status: str
+    worker: Optional[str]
+    error: Optional[str]
+    created_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    periods_done: int
+    n_periods: Optional[int]
+    event_log: Optional[str]
+    event_hash: Optional[str]
+    n_events: Optional[int]
+    result_json: Optional[str]
+
+    @property
+    def spec(self) -> Dict[str, Any]:
+        """The scenario spec document this run executes."""
+        return json.loads(self.spec_json)
+
+    @property
+    def result(self) -> Optional[Dict[str, Any]]:
+        """The result summary (``None`` until the run is done)."""
+        return _json_or_none(self.result_json)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def to_doc(self, spec: bool = False) -> Dict[str, Any]:
+        """JSON document for the HTTP API (optionally with the spec)."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "name": self.name,
+            "harness": self.harness,
+            "spec_hash": self.spec_hash,
+            "sweep_id": self.sweep_id,
+            "status": self.status,
+            "worker": self.worker,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "periods_done": self.periods_done,
+            "n_periods": self.n_periods,
+            "event_log": self.event_log,
+            "event_hash": self.event_hash,
+            "n_events": self.n_events,
+        }
+        if spec:
+            doc["spec"] = self.spec
+        return doc
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid sweep (a row of the ``sweeps`` table)."""
+
+    id: int
+    name: str
+    base_json: str
+    grid_json: str
+    n_jobs: int
+    created_at: float
+
+    @property
+    def base(self) -> Dict[str, Any]:
+        return json.loads(self.base_json)
+
+    @property
+    def grid(self) -> Dict[str, Any]:
+        return json.loads(self.grid_json)
+
+
+@dataclass(frozen=True)
+class CheckpointRow:
+    """One mid-run checkpoint (kernel document + event-log offset)."""
+
+    id: int
+    run_id: int
+    period: int
+    log_offset: int
+    doc_json: str
+    created_at: float
+
+    @property
+    def doc(self) -> Dict[str, Any]:
+        return json.loads(self.doc_json)
+
+
+@dataclass(frozen=True)
+class AuditRow:
+    """One stored SLO/power audit report (one per finished run)."""
+
+    run_id: int
+    passed: bool
+    report_json: str
+    created_at: float
+
+    @property
+    def report(self) -> Dict[str, Any]:
+        return json.loads(self.report_json)
+
+
+_RUN_COLUMNS = (
+    "id, name, harness, spec_json, spec_hash, sweep_id, status, worker, "
+    "error, created_at, started_at, finished_at, periods_done, n_periods, "
+    "event_log, event_hash, n_events, result_json"
+)
+
+
+class ResultsStore:
+    """Typed access to one service database (thread-safe).
+
+    Each thread gets its own ``sqlite3`` connection (WAL journal,
+    ``busy_timeout``, foreign keys on); migrations run once, on first
+    open, guarded by an immediate transaction so concurrent first
+    opens do not race.
+    """
+
+    def __init__(self, path: Union[str, Path], timeout_s: float = 30.0):
+        self.path = Path(path)
+        self.timeout_s = float(timeout_s)
+        self._local = threading.local()
+        self._conns: List[sqlite3.Connection] = []
+        self._conns_lock = threading.Lock()
+        self._migrate()
+
+    # -- connections and schema ---------------------------------------
+
+    def connect(self) -> sqlite3.Connection:
+        """This thread's connection (created on first use)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=self.timeout_s)
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA foreign_keys=ON")
+            conn.execute(f"PRAGMA busy_timeout={int(self.timeout_s * 1000)}")
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def close(self) -> None:
+        """Close every connection this store ever opened."""
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        self._local = threading.local()
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.connect().execute("PRAGMA user_version").fetchone()[0])
+
+    def _migrate(self) -> None:
+        conn = self.connect()
+        # Statement-at-a-time (executescript would COMMIT first and
+        # break per-step atomicity); the immediate transaction also
+        # serializes concurrent first-opens of the same database.
+        with conn:
+            conn.execute("BEGIN IMMEDIATE")
+            version = int(conn.execute("PRAGMA user_version").fetchone()[0])
+            if version > SCHEMA_VERSION:
+                raise StoreError(
+                    f"{self.path} has schema version {version}, newer than "
+                    f"this code supports ({SCHEMA_VERSION}); upgrade repro"
+                )
+            for step in range(version, SCHEMA_VERSION):
+                for statement in MIGRATIONS[step].split(";"):
+                    if statement.strip():
+                        conn.execute(statement)
+                conn.execute(f"PRAGMA user_version = {step + 1}")
+
+    # -- runs ----------------------------------------------------------
+
+    def submit_run(
+        self,
+        spec_doc: Mapping[str, Any],
+        sweep_id: Optional[int] = None,
+        dedupe: bool = True,
+    ) -> Tuple[RunRow, bool]:
+        """Queue a run for *spec_doc*; returns ``(row, cached)``.
+
+        With ``dedupe`` (the default), an identical spec that is already
+        queued, running, or done is returned instead of re-queued
+        (``cached=True``).  Failed and cancelled runs never satisfy a
+        re-submission — submitting again retries them with a new row.
+        """
+        digest = spec_hash(spec_doc)
+        conn = self.connect()
+        with conn:
+            conn.execute("BEGIN IMMEDIATE")
+            if dedupe:
+                row = conn.execute(
+                    f"SELECT {_RUN_COLUMNS} FROM runs WHERE spec_hash = ? "
+                    "AND status IN ('queued','running','cancelling','done') "
+                    "ORDER BY id DESC LIMIT 1",
+                    (digest,),
+                ).fetchone()
+                if row is not None:
+                    return RunRow(**dict(row)), True
+            cur = conn.execute(
+                "INSERT INTO runs (name, harness, spec_json, spec_hash, "
+                "sweep_id, status, created_at) VALUES (?, ?, ?, ?, ?, "
+                "'queued', ?)",
+                (
+                    str(spec_doc.get("name", "")),
+                    str(spec_doc.get("harness", "")),
+                    json.dumps(spec_doc, sort_keys=True, default=str),
+                    digest,
+                    sweep_id,
+                    time.time(),
+                ),
+            )
+            run_id = int(cur.lastrowid or 0)
+        return self.get_run(run_id), False
+
+    def get_run(self, run_id: int) -> RunRow:
+        row = self.connect().execute(
+            f"SELECT {_RUN_COLUMNS} FROM runs WHERE id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no run with id {run_id}")
+        return RunRow(**dict(row))
+
+    def list_runs(
+        self,
+        status: Optional[str] = None,
+        sweep_id: Optional[int] = None,
+        limit: int = 500,
+    ) -> List[RunRow]:
+        clauses, params = [], []  # type: ignore[var-annotated]
+        if status is not None:
+            if status not in _ALL_STATUSES:
+                raise StoreError(f"unknown status {status!r}")
+            clauses.append("status = ?")
+            params.append(status)
+        if sweep_id is not None:
+            clauses.append("sweep_id = ?")
+            params.append(sweep_id)
+        where = ("WHERE " + " AND ".join(clauses)) if clauses else ""
+        params.append(int(limit))
+        rows = self.connect().execute(
+            f"SELECT {_RUN_COLUMNS} FROM runs {where} ORDER BY id LIMIT ?",
+            params,
+        ).fetchall()
+        return [RunRow(**dict(r)) for r in rows]
+
+    def claim_run(self, worker: str) -> Optional[RunRow]:
+        """Atomically claim the oldest queued run for *worker*."""
+        conn = self.connect()
+        with conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "UPDATE runs SET status='running', worker=?, started_at=? "
+                "WHERE id = (SELECT id FROM runs WHERE status='queued' "
+                "ORDER BY id LIMIT 1) AND status='queued' "
+                f"RETURNING {_RUN_COLUMNS}",
+                (worker, time.time()),
+            ).fetchone()
+        return None if row is None else RunRow(**dict(row))
+
+    def update_progress(
+        self,
+        run_id: int,
+        periods_done: int,
+        n_periods: Optional[int] = None,
+        event_log: Optional[str] = None,
+    ) -> None:
+        sets, params = ["periods_done = ?"], [int(periods_done)]  # type: ignore[list-item]
+        if n_periods is not None:
+            sets.append("n_periods = ?")
+            params.append(int(n_periods))
+        if event_log is not None:
+            sets.append("event_log = ?")
+            params.append(event_log)  # type: ignore[arg-type]
+        params.append(run_id)  # type: ignore[arg-type]
+        with self.connect() as conn:
+            conn.execute(f"UPDATE runs SET {', '.join(sets)} WHERE id = ?", params)
+
+    def finish_run(
+        self,
+        run_id: int,
+        status: str,
+        result: Optional[Mapping[str, Any]] = None,
+        event_hash: Optional[str] = None,
+        n_events: Optional[int] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Move a run to a terminal status with its result summary."""
+        if status not in TERMINAL_STATUSES:
+            raise StoreError(f"{status!r} is not a terminal status")
+        with self.connect() as conn:
+            conn.execute(
+                "UPDATE runs SET status=?, finished_at=?, result_json=?, "
+                "event_hash=?, n_events=?, error=? WHERE id=?",
+                (
+                    status,
+                    time.time(),
+                    None if result is None
+                    else json.dumps(result, sort_keys=True, default=str),
+                    event_hash,
+                    n_events,
+                    error,
+                    run_id,
+                ),
+            )
+
+    def requeue_run(self, run_id: int) -> None:
+        """Put an in-flight run back in the queue (graceful shutdown)."""
+        with self.connect() as conn:
+            conn.execute(
+                "UPDATE runs SET status='queued', worker=NULL WHERE id=? "
+                "AND status IN ('running','cancelling')",
+                (run_id,),
+            )
+
+    def recover_stale_running(self) -> int:
+        """Requeue every 'running' run left behind by a dead process.
+
+        Called on runner startup: any run still marked running cannot
+        actually be running (this process owns every worker), so it is
+        the residue of a crash or SIGKILL.  Its latest checkpoint — if
+        any — resumes it; otherwise it restarts from period 0.
+        """
+        with self.connect() as conn:
+            cur = conn.execute(
+                "UPDATE runs SET status='queued', worker=NULL "
+                "WHERE status IN ('running','cancelling')"
+            )
+        return int(cur.rowcount)
+
+    def request_cancel(self, run_id: int) -> RunRow:
+        """Cancel a queued run now, or flag a running one to stop."""
+        conn = self.connect()
+        with conn:
+            conn.execute("BEGIN IMMEDIATE")
+            run = conn.execute(
+                f"SELECT {_RUN_COLUMNS} FROM runs WHERE id=?", (run_id,)
+            ).fetchone()
+            if run is None:
+                raise KeyError(f"no run with id {run_id}")
+            status = run["status"]
+            if status == "queued":
+                conn.execute(
+                    "UPDATE runs SET status='cancelled', finished_at=? "
+                    "WHERE id=?", (time.time(), run_id),
+                )
+            elif status == "running":
+                conn.execute(
+                    "UPDATE runs SET status='cancelling' WHERE id=?", (run_id,)
+                )
+        return self.get_run(run_id)
+
+    def run_status(self, run_id: int) -> str:
+        row = self.connect().execute(
+            "SELECT status FROM runs WHERE id=?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no run with id {run_id}")
+        return str(row[0])
+
+    def counts_by_status(self) -> Dict[str, int]:
+        """Run counts keyed by status (every status key present)."""
+        counts = {status: 0 for status in _ALL_STATUSES}
+        for status, n in self.connect().execute(
+            "SELECT status, COUNT(*) FROM runs GROUP BY status"
+        ):
+            counts[str(status)] = int(n)
+        return counts
+
+    # -- checkpoints ---------------------------------------------------
+
+    def save_checkpoint(
+        self,
+        run_id: int,
+        period: int,
+        doc: Mapping[str, Any],
+        log_offset: int,
+    ) -> None:
+        """Store (or overwrite) the checkpoint at *period* for a run."""
+        with self.connect() as conn:
+            conn.execute(
+                "INSERT INTO checkpoints (run_id, period, log_offset, "
+                "doc_json, created_at) VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT (run_id, period) DO UPDATE SET "
+                "log_offset=excluded.log_offset, doc_json=excluded.doc_json, "
+                "created_at=excluded.created_at",
+                (
+                    run_id,
+                    int(period),
+                    int(log_offset),
+                    json.dumps(doc, sort_keys=True, default=str),
+                    time.time(),
+                ),
+            )
+
+    def latest_checkpoint(self, run_id: int) -> Optional[CheckpointRow]:
+        row = self.connect().execute(
+            "SELECT id, run_id, period, log_offset, doc_json, created_at "
+            "FROM checkpoints WHERE run_id=? ORDER BY period DESC LIMIT 1",
+            (run_id,),
+        ).fetchone()
+        return None if row is None else CheckpointRow(**dict(row))
+
+    def list_checkpoints(self, run_id: int) -> List[CheckpointRow]:
+        rows = self.connect().execute(
+            "SELECT id, run_id, period, log_offset, doc_json, created_at "
+            "FROM checkpoints WHERE run_id=? ORDER BY period",
+            (run_id,),
+        ).fetchall()
+        return [CheckpointRow(**dict(r)) for r in rows]
+
+    # -- audits --------------------------------------------------------
+
+    def save_audit(
+        self, run_id: int, report: Mapping[str, Any], passed: bool
+    ) -> None:
+        with self.connect() as conn:
+            conn.execute(
+                "INSERT INTO audits (run_id, passed, report_json, created_at) "
+                "VALUES (?, ?, ?, ?) ON CONFLICT (run_id) DO UPDATE SET "
+                "passed=excluded.passed, report_json=excluded.report_json, "
+                "created_at=excluded.created_at",
+                (
+                    run_id,
+                    1 if passed else 0,
+                    json.dumps(report, sort_keys=True, default=str),
+                    time.time(),
+                ),
+            )
+
+    def get_audit(self, run_id: int) -> Optional[AuditRow]:
+        row = self.connect().execute(
+            "SELECT run_id, passed, report_json, created_at FROM audits "
+            "WHERE run_id=?", (run_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        data = dict(row)
+        data["passed"] = bool(data["passed"])
+        return AuditRow(**data)
+
+    # -- sweeps --------------------------------------------------------
+
+    def create_sweep(
+        self,
+        name: str,
+        base_doc: Mapping[str, Any],
+        grid: Mapping[str, Any],
+        n_jobs: int,
+    ) -> SweepRow:
+        conn = self.connect()
+        with conn:
+            cur = conn.execute(
+                "INSERT INTO sweeps (name, base_json, grid_json, n_jobs, "
+                "created_at) VALUES (?, ?, ?, ?, ?)",
+                (
+                    name,
+                    json.dumps(base_doc, sort_keys=True, default=str),
+                    json.dumps(grid, sort_keys=True, default=str),
+                    int(n_jobs),
+                    time.time(),
+                ),
+            )
+        return self.get_sweep(int(cur.lastrowid or 0))
+
+    def get_sweep(self, sweep_id: int) -> SweepRow:
+        row = self.connect().execute(
+            "SELECT id, name, base_json, grid_json, n_jobs, created_at "
+            "FROM sweeps WHERE id=?", (sweep_id,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no sweep with id {sweep_id}")
+        return SweepRow(**dict(row))
+
+    def list_sweeps(self) -> List[SweepRow]:
+        rows = self.connect().execute(
+            "SELECT id, name, base_json, grid_json, n_jobs, created_at "
+            "FROM sweeps ORDER BY id"
+        ).fetchall()
+        return [SweepRow(**dict(r)) for r in rows]
+
+    def sweep_progress(self, sweep_id: int) -> Dict[str, int]:
+        """Status -> run count for one sweep (all status keys present)."""
+        self.get_sweep(sweep_id)  # raise KeyError for unknown ids
+        counts = {status: 0 for status in _ALL_STATUSES}
+        for status, n in self.connect().execute(
+            "SELECT status, COUNT(*) FROM runs WHERE sweep_id=? GROUP BY status",
+            (sweep_id,),
+        ):
+            counts[str(status)] = int(n)
+        return counts

@@ -1,0 +1,107 @@
+"""Event-log shutdown guarantees: atexit flush and SIGTERM unwind.
+
+The bug these pin: a run terminated by SIGTERM (or an interpreter exit
+that never reached ``backend.close()``) used to leave the JSONL event
+log truncated mid-line.  Now every open :class:`JsonlBackend` is closed
+at interpreter exit, and :func:`install_sigterm_flush` converts SIGTERM
+into a ``SystemExit`` so ``with use_telemetry(...)`` blocks unwind and
+close their backends on the way out.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.obs import JsonlBackend, close_open_backends
+
+_ENV = dict(os.environ, PYTHONPATH="src")
+
+
+def _valid_jsonl(path):
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines]
+
+
+class TestCloseOpenBackends:
+    def test_closes_every_tracked_backend(self, tmp_path):
+        backends = [JsonlBackend(tmp_path / f"log{i}.jsonl") for i in range(3)]
+        for i, backend in enumerate(backends):
+            backend.emit({"kind": "event", "i": i})
+        assert close_open_backends() >= 3
+        for i in range(3):
+            records = _valid_jsonl(tmp_path / f"log{i}.jsonl")
+            assert records == [{"kind": "event", "i": i}]
+
+    def test_idempotent_after_manual_close(self, tmp_path):
+        backend = JsonlBackend(tmp_path / "log.jsonl")
+        backend.emit({"kind": "event"})
+        backend.close()
+        close_open_backends()  # must not raise on the closed file
+        backend.close()  # nor double-close
+
+
+class TestInterpreterExit:
+    def test_atexit_flushes_unclosed_backend(self, tmp_path):
+        # A process that emits and exits WITHOUT closing: the atexit
+        # hook must still produce a complete, parseable log.
+        log = tmp_path / "exit.jsonl"
+        script = textwrap.dedent(f"""
+            from repro.obs import JsonlBackend
+            backend = JsonlBackend({str(log)!r})
+            for i in range(50):
+                backend.emit({{"kind": "event", "i": i}})
+            # no close(), no flush(): atexit must handle it
+        """)
+        subprocess.run(
+            [sys.executable, "-c", script], env=_ENV, check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        records = _valid_jsonl(log)
+        assert [r["i"] for r in records] == list(range(50))
+
+
+class TestSigterm:
+    def test_sigterm_unwinds_and_flushes(self, tmp_path):
+        # A long-running "CLI" loop inside use_telemetry: SIGTERM must
+        # unwind the with-block so the log closes complete, and the
+        # process must exit 143 (128 + SIGTERM) like a shell expects.
+        log = tmp_path / "term.jsonl"
+        ready = tmp_path / "ready"
+        script = textwrap.dedent(f"""
+            import pathlib, time
+            from repro.obs import (JsonlBackend, Telemetry,
+                                   install_sigterm_flush, use_telemetry)
+            from repro.obs import get_telemetry
+            assert install_sigterm_flush()
+            with use_telemetry(Telemetry(JsonlBackend({str(log)!r}))):
+                for i in range(10_000):
+                    get_telemetry().event("tick", i=i)
+                    if i == 99:
+                        pathlib.Path({str(ready)!r}).touch()
+                    if i >= 100:
+                        time.sleep(0.01)
+        """)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], env=_ENV,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists():
+                assert time.monotonic() < deadline, "child never got going"
+                assert proc.poll() is None, "child died early"
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert rc == 143
+        records = _valid_jsonl(log)  # every line complete and parseable
+        ticks = [r for r in records if r.get("kind") == "tick"]
+        assert len(ticks) >= 100
+        assert ticks[-1]["i"] == len(ticks) - 1  # nothing torn or lost

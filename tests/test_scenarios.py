@@ -239,6 +239,24 @@ class TestCli:
         assert main_scenario(["validate", "testbed-faulted"]) == 0
         assert "OK" in capsys.readouterr().out
 
+    def test_show_prints_resolved_spec(self, capsys):
+        from repro.cli import main_scenario
+
+        assert main_scenario(["show", "testbed-small"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == builtin_registry().get("testbed-small").to_dict()
+
+    def test_show_output_is_runnable_spec_file(self, tmp_path, capsys):
+        # show -> save -> validate -> run: the printed document is the
+        # same spec-file format repro-sim --scenario accepts.
+        from repro.cli import main_scenario, main_sim
+
+        assert main_scenario(["show", "testbed-small"]) == 0
+        path = tmp_path / "spec.json"
+        path.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert main_scenario(["validate", str(path)]) == 0
+        assert main_sim(["--scenario", str(path)]) == 0
+
     def test_validate_bad_spec_file(self, tmp_path, capsys):
         from repro.cli import main_scenario
 

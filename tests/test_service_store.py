@@ -1,0 +1,228 @@
+"""ResultsStore: migrations, claims, idempotent submission, concurrency."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.service.store import (
+    SCHEMA_VERSION,
+    ResultsStore,
+    StoreError,
+    spec_hash,
+)
+
+SPEC = {"name": "t", "harness": "testbed", "params": {"seed": 1}}
+SPEC2 = {"name": "t", "harness": "testbed", "params": {"seed": 2}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ResultsStore(tmp_path / "svc.db")
+    yield s
+    s.close()
+
+
+class TestMigrations:
+    def test_fresh_db_migrates_to_current_version(self, store):
+        assert store.schema_version == SCHEMA_VERSION
+        tables = {
+            r[0] for r in store.connect().execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert {"runs", "sweeps", "checkpoints", "audits"} <= tables
+
+    def test_reopen_is_a_noop(self, tmp_path):
+        path = tmp_path / "svc.db"
+        ResultsStore(path).close()
+        again = ResultsStore(path)
+        assert again.schema_version == SCHEMA_VERSION
+        again.close()
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "svc.db"
+        ResultsStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 5}")
+        conn.close()
+        with pytest.raises(StoreError, match="newer"):
+            ResultsStore(path)
+
+    def test_wal_mode(self, store):
+        mode = store.connect().execute("PRAGMA journal_mode").fetchone()[0]
+        assert str(mode).lower() == "wal"
+
+    def test_concurrent_first_open_race(self, tmp_path):
+        path = tmp_path / "race.db"
+        stores, errors = [], []
+
+        def opener():
+            try:
+                stores.append(ResultsStore(path))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=opener) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert all(s.schema_version == SCHEMA_VERSION for s in stores)
+        for s in stores:
+            s.close()
+
+
+class TestSubmission:
+    def test_submit_and_get(self, store):
+        run, cached = store.submit_run(SPEC)
+        assert not cached
+        assert run.status == "queued"
+        assert run.spec == SPEC
+        assert store.get_run(run.id).spec_hash == spec_hash(SPEC)
+
+    def test_resubmit_identical_spec_is_cached(self, store):
+        first, _ = store.submit_run(SPEC)
+        again, cached = store.submit_run(SPEC)
+        assert cached and again.id == first.id
+        other, cached = store.submit_run(SPEC2)
+        assert not cached and other.id != first.id
+
+    def test_done_run_satisfies_resubmission(self, store):
+        run, _ = store.submit_run(SPEC)
+        claimed = store.claim_run("w0")
+        store.finish_run(claimed.id, "done", result={"x": 1},
+                        event_hash="abc", n_events=3)
+        again, cached = store.submit_run(SPEC)
+        assert cached and again.id == run.id
+        assert again.result == {"x": 1}
+
+    def test_failed_run_is_retried_not_cached(self, store):
+        run, _ = store.submit_run(SPEC)
+        store.claim_run("w0")
+        store.finish_run(run.id, "failed", error="boom")
+        retry, cached = store.submit_run(SPEC)
+        assert not cached and retry.id != run.id
+
+    def test_force_bypasses_dedupe(self, store):
+        first, _ = store.submit_run(SPEC)
+        dup, cached = store.submit_run(SPEC, dedupe=False)
+        assert not cached and dup.id != first.id
+
+    def test_unknown_run_raises_keyerror(self, store):
+        with pytest.raises(KeyError):
+            store.get_run(999)
+
+
+class TestClaims:
+    def test_claim_order_is_fifo(self, store):
+        a, _ = store.submit_run(SPEC)
+        b, _ = store.submit_run(SPEC2)
+        first = store.claim_run("w0")
+        second = store.claim_run("w1")
+        assert (first.id, second.id) == (a.id, b.id)
+        assert first.status == "running" and first.worker == "w0"
+        assert store.claim_run("w2") is None
+
+    def test_concurrent_claims_never_double_claim(self, tmp_path):
+        store = ResultsStore(tmp_path / "claims.db")
+        n = 24
+        for i in range(n):
+            store.submit_run({"name": "t", "harness": "testbed",
+                              "params": {"seed": i}})
+        claimed, lock = [], threading.Lock()
+
+        def worker(name):
+            while True:
+                run = store.claim_run(name)
+                if run is None:
+                    return
+                with lock:
+                    claimed.append(run.id)
+
+        threads = [threading.Thread(target=worker, args=(f"w{i}",))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == list(range(1, n + 1))  # each exactly once
+        store.close()
+
+    def test_recover_stale_running(self, store):
+        run, _ = store.submit_run(SPEC)
+        store.claim_run("w0")
+        assert store.recover_stale_running() == 1
+        assert store.run_status(run.id) == "queued"
+        assert store.get_run(run.id).worker is None
+
+
+class TestLifecycle:
+    def test_finish_rejects_non_terminal_status(self, store):
+        run, _ = store.submit_run(SPEC)
+        with pytest.raises(StoreError, match="terminal"):
+            store.finish_run(run.id, "running")
+
+    def test_cancel_queued_is_immediate(self, store):
+        run, _ = store.submit_run(SPEC)
+        assert store.request_cancel(run.id).status == "cancelled"
+        assert store.claim_run("w0") is None
+
+    def test_cancel_running_flags_cancelling(self, store):
+        run, _ = store.submit_run(SPEC)
+        store.claim_run("w0")
+        assert store.request_cancel(run.id).status == "cancelling"
+        store.finish_run(run.id, "cancelled")
+        # terminal cancels are a no-op
+        assert store.request_cancel(run.id).status == "cancelled"
+
+    def test_counts_by_status_has_every_key(self, store):
+        counts = store.counts_by_status()
+        assert set(counts) == {"queued", "running", "cancelling",
+                               "done", "failed", "cancelled"}
+        store.submit_run(SPEC)
+        assert store.counts_by_status()["queued"] == 1
+
+
+class TestCheckpointsAndAudits:
+    def test_checkpoint_upsert_and_latest(self, store):
+        run, _ = store.submit_run(SPEC)
+        store.save_checkpoint(run.id, 3, {"k": 3}, log_offset=100)
+        store.save_checkpoint(run.id, 6, {"k": 6}, log_offset=200)
+        store.save_checkpoint(run.id, 6, {"k": 6, "v": 2}, log_offset=222)
+        latest = store.latest_checkpoint(run.id)
+        assert latest.period == 6 and latest.log_offset == 222
+        assert latest.doc == {"k": 6, "v": 2}
+        assert [c.period for c in store.list_checkpoints(run.id)] == [3, 6]
+
+    def test_latest_checkpoint_none_when_absent(self, store):
+        run, _ = store.submit_run(SPEC)
+        assert store.latest_checkpoint(run.id) is None
+
+    def test_audit_upsert_roundtrip(self, store):
+        run, _ = store.submit_run(SPEC)
+        assert store.get_audit(run.id) is None
+        store.save_audit(run.id, {"slo": {"passed": False}}, passed=False)
+        store.save_audit(run.id, {"slo": {"passed": True}}, passed=True)
+        audit = store.get_audit(run.id)
+        assert audit.passed is True
+        assert audit.report["slo"]["passed"] is True
+
+
+class TestSweeps:
+    def test_sweep_rows_and_progress(self, store):
+        sweep = store.create_sweep("s", SPEC, {"params.seed": [1, 2]}, 2)
+        for seed in (1, 2):
+            doc = dict(SPEC, params={"seed": seed})
+            store.submit_run(doc, sweep_id=sweep.id, dedupe=False)
+        assert store.get_sweep(sweep.id).grid == {"params.seed": [1, 2]}
+        progress = store.sweep_progress(sweep.id)
+        assert progress["queued"] == 2
+        assert len(store.list_runs(sweep_id=sweep.id)) == 2
+        with pytest.raises(KeyError):
+            store.sweep_progress(99)
+
+    def test_list_runs_status_filter_validated(self, store):
+        with pytest.raises(StoreError, match="unknown status"):
+            store.list_runs(status="bogus")

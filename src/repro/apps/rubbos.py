@@ -26,7 +26,7 @@ measurements the response-time controller consumes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -130,22 +130,36 @@ class _Tier:
     CPU; the rest wait in arrival order, as behind a worker-pool limit.
     The completion event's value is the *total* tier sojourn (admission
     wait + service).
+
+    Without a cap the gate is pass-through, so ``submit`` hands back the
+    PS resource's own completion event: same value (sojourn = service
+    time), same synchronous callback chain, one fewer ``SimEvent`` and
+    closure per request.
     """
 
     __slots__ = ("sim", "spec", "resource", "_waiting", "_in_service")
 
-    def __init__(self, sim: Simulator, spec: TierSpec, capacity_ghz: float):
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: TierSpec,
+        capacity_ghz: float,
+        resource_cls: type = PSResource,
+    ):
         self.sim = sim
         self.spec = spec
-        self.resource = PSResource(sim, capacity_ghz)
+        self.resource = resource_cls(sim, capacity_ghz)
         self._waiting: Deque[tuple] = deque()
         self._in_service = 0
 
     def submit(self, work_ghz_seconds: float) -> SimEvent:
+        if self.spec.max_concurrency is None:
+            # Ungated: the resource's event value is already the tier
+            # sojourn (arrival == admission), bit-identical to wrapping.
+            return self.resource.submit(float(work_ghz_seconds))
         outer = self.sim.event()
         job = (float(work_ghz_seconds), outer, self.sim.now)
-        cap = self.spec.max_concurrency
-        if cap is None or self._in_service < cap:
+        if self._in_service < self.spec.max_concurrency:
             self._start(job)
         else:
             self._waiting.append(job)
@@ -186,6 +200,8 @@ class _Tier:
     @property
     def queue_length(self) -> int:
         """Requests in service plus any waiting at the admission gate."""
+        if self.spec.max_concurrency is None:
+            return self.resource.queue_length
         return self._in_service + len(self._waiting)
 
 
@@ -202,6 +218,12 @@ class MultiTierApp:
         Initial number of closed-loop clients.
     rng:
         Seed or generator for demands and think times.
+    kernel:
+        ``"fast"`` (default) uses the optimized DES kernel from
+        :mod:`repro.sim.des`; ``"reference"`` uses the preserved
+        original from :mod:`repro.sim.des_reference`.  The two are
+        bit-identical — the reference exists for equivalence tests and
+        for the ``des`` benchmark's baseline timing.
     """
 
     def __init__(
@@ -210,9 +232,20 @@ class MultiTierApp:
         initial_allocations_ghz: Optional[Sequence[float]] = None,
         concurrency: int = 0,
         rng: RngLike = None,
+        kernel: str = "fast",
     ):
+        if kernel not in ("fast", "reference"):
+            raise ValueError(f"kernel must be 'fast' or 'reference', got {kernel!r}")
         self.spec = spec
-        self.sim = Simulator()
+        self.kernel = kernel
+        if kernel == "reference":
+            from repro.sim.des_reference import ReferencePSResource, ReferenceSimulator
+
+            self.sim: Simulator = ReferenceSimulator()
+            resource_cls: type = ReferencePSResource
+        else:
+            self.sim = Simulator()
+            resource_cls = PSResource
         self._rng = ensure_rng(rng)
         if initial_allocations_ghz is None:
             initial_allocations_ghz = [1.0] * spec.n_tiers
@@ -223,7 +256,7 @@ class MultiTierApp:
             )
         self._alloc = np.empty(spec.n_tiers)
         self._tiers: List[_Tier] = [
-            _Tier(self.sim, tier, 1.0) for tier in spec.tiers
+            _Tier(self.sim, tier, 1.0, resource_cls) for tier in spec.tiers
         ]
         self.set_allocations(alloc)
         self._target_n = 0
@@ -381,7 +414,10 @@ class MultiTierApp:
                 self._parked[idx] = ev
                 yield ev
                 continue
-            yield self.sim.timeout(float(rng.exponential(think_mean)))
+            # Yield the raw delay: the process schedules its own resume
+            # directly, skipping the timeout SimEvent + callback hop.
+            # Same single sequence number, same resume time.
+            yield float(rng.exponential(think_mean))
             if idx >= self._target_n:
                 continue
             t_start = self.sim.now

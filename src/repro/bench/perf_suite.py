@@ -21,8 +21,17 @@ Cases
     Fast: ``PACConfig.incremental`` seeds per-server searches from the
     standing mapping.  Reference: every invocation from scratch.
 ``des``
-    The request-level testbed (discrete-event core + controller stack).
-    Fast: MPC warm start on (default).  Reference: off.
+    The request-level plant itself, controller excluded (uncontrolled
+    testbed, static allocations).  Fast: the hybrid plant — MVA
+    fast-forward over quasi-static periods, exact DES at transients —
+    on the allocation-free array-PS kernel.  Reference: pure DES on the
+    pre-fast-lane dict-PS kernel (``des_kernel="reference"``).  This is
+    the headline DES fast-lane number; target ≥ 10x at full scale.
+``des_hybrid``
+    The same fast-vs-reference plant comparison at 100x the original
+    closed-loop client count (1000 clients on one app): the scale the
+    hybrid exists for.  Exact DES runs only at startup/settling; nearly
+    everything after is MVA fast-forward.
 ``telemetry``
     Observability overhead on the DES hot path.  "Fast" is the fully
     instrumented run — kernel ``phase.*`` spans (sampled), request
@@ -340,27 +349,52 @@ def bench_ipac(scale: str) -> CaseResult:
 # ---------------------------------------------------------------- des --
 
 
-def _testbed_run(warm: bool, duration_s: float) -> None:
-    model = ARXModel(a=[0.4], b=[[-800.0, -300.0], [-100.0, -50.0]], g=1800.0)
+def _plant_run(
+    plant_mode: str,
+    des_kernel: str,
+    duration_s: float,
+    concurrency: int,
+    n_servers: int = 2,
+    n_apps: int = 2,
+    alloc_ghz: float = 1.6,
+):
+    """One uncontrolled testbed run: the plant alone, no controller.
+
+    ``controlled=False`` keeps allocations static, so both arms time
+    pure plant simulation — the MPC stack has its own case.  The model
+    is unused in an uncontrolled run, but passing one skips the
+    system-identification pre-run (a full DES experiment that would
+    otherwise dominate both arms and drown the kernel difference).
+    """
+    b = [[-800.0] * n_apps, [-100.0] * n_apps]
+    model = ARXModel(a=[0.4], b=b, g=1800.0)
     cfg = TestbedConfig(
-        n_servers=2,
-        n_apps=2,
+        n_servers=n_servers,
+        n_apps=n_apps,
         duration_s=duration_s,
         warmup_s=20.0,
-        concurrency=10,
-        initial_alloc_ghz=0.6,
-        mpc_warm_start=warm,
+        concurrency=concurrency,
+        initial_alloc_ghz=alloc_ghz,
+        controlled=False,
+        plant_mode=plant_mode,
+        des_kernel=des_kernel,
         seed=77,
     )
-    TestbedExperiment(cfg, model).run()
+    return TestbedExperiment(cfg, model=model).run()
 
 
 def bench_des(scale: str) -> CaseResult:
-    duration = 300.0 if scale == "full" else 120.0
-    _testbed_run(True, 60.0)  # warm the process up
+    duration = 600.0 if scale == "full" else 240.0
+    conc = 200
+    _plant_run("hybrid", "fast", 60.0, conc)  # warm the process up
     with get_telemetry().span("bench.des", duration_s=duration):
-        wall = _time(lambda: _testbed_run(True, duration))
-        ref_wall = _time(lambda: _testbed_run(False, duration))
+        t0 = time.perf_counter()
+        res = _plant_run("hybrid", "fast", duration, conc)
+        wall = time.perf_counter() - t0
+        ref_wall = _time(
+            lambda: _plant_run("des", "reference", duration, conc)
+        )
+    modes = res.hybrid["app0"]
     return CaseResult(
         name="des",
         wall_s=wall,
@@ -368,7 +402,51 @@ def bench_des(scale: str) -> CaseResult:
         speedup=ref_wall / wall,
         iters=int(duration),
         warm_hit_rate=None,
-        detail={"duration_s": duration},
+        detail={
+            "duration_s": duration,
+            "concurrency": float(conc),
+            "mva_periods": float(modes["mva_periods"]),
+            "exact_periods": float(modes["exact_periods"]),
+        },
+    )
+
+
+def bench_des_hybrid(scale: str) -> CaseResult:
+    duration = 240.0 if scale == "full" else 120.0
+    conc = 1000  # 100x the original closed-loop client count of 10
+    _plant_run(
+        "hybrid", "fast", 60.0, conc, n_servers=1, n_apps=1, alloc_ghz=2.0
+    )  # warm the process up
+    with get_telemetry().span(
+        "bench.des_hybrid", duration_s=duration, concurrency=conc
+    ):
+        t0 = time.perf_counter()
+        res = _plant_run(
+            "hybrid", "fast", duration, conc,
+            n_servers=1, n_apps=1, alloc_ghz=2.0,
+        )
+        wall = time.perf_counter() - t0
+        ref_wall = _time(
+            lambda: _plant_run(
+                "des", "reference", duration, conc,
+                n_servers=1, n_apps=1, alloc_ghz=2.0,
+            )
+        )
+    modes = res.hybrid["app0"]
+    return CaseResult(
+        name="des_hybrid",
+        wall_s=wall,
+        reference_wall_s=ref_wall,
+        speedup=ref_wall / wall,
+        iters=int(duration),
+        warm_hit_rate=None,
+        detail={
+            "duration_s": duration,
+            "concurrency": float(conc),
+            "clients_x_base": 100.0,
+            "mva_periods": float(modes["mva_periods"]),
+            "exact_periods": float(modes["exact_periods"]),
+        },
     )
 
 
@@ -467,6 +545,7 @@ CASES: Dict[str, Callable[[str], CaseResult]] = {
     "minslack": bench_minslack,
     "ipac": bench_ipac,
     "des": bench_des,
+    "des_hybrid": bench_des_hybrid,
     "telemetry": bench_telemetry,
     "largescale": bench_largescale,
 }

@@ -472,7 +472,8 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--cases", nargs="+", default=None, metavar="CASE",
-        help="subset of cases to run (default: all)",
+        help="subset of cases to run, space- or comma-separated "
+        "(e.g. --cases des,des_hybrid; default: all)",
     )
     parser.add_argument(
         "--output", metavar="PATH", default=None,
@@ -493,6 +494,9 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
     configure_logging(args.verbose, args.quiet)
     from repro.bench import compare_to_baseline, run_suite, write_report
 
+    if args.cases is not None:
+        # Accept both "--cases des des_hybrid" and "--cases des,des_hybrid".
+        args.cases = [c for part in args.cases for c in part.split(",") if c]
     try:
         report = run_suite(scale=args.scale, cases=args.cases)
     except KeyError as exc:

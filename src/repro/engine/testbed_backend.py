@@ -252,11 +252,17 @@ class TestbedBackend:
         if self.attributor is not None:
             attribution = self.attributor.summary()
             get_telemetry().event("attribution_summary", attribution=attribution)
+        hybrid = None
+        if self.config.plant_mode == "hybrid":
+            hybrid = {
+                f"app{i}": plant.summary() for i, plant in enumerate(self.plants)
+            }
         return TestbedResult(
             recorder=self.recorder,
             model=self.experiment._shared_model,
             sysid_r2=self.experiment._sysid_r2,
             attribution=attribution,
+            hybrid=hybrid,
         )
 
     # -- checkpointing (replay verification) ---------------------------

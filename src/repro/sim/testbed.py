@@ -21,9 +21,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Optional
 
 from repro.apps.rubbos import AppSpec, MultiTierApp
 from repro.apps.workload import ConcurrencySchedule, ConstantWorkload
@@ -39,6 +37,7 @@ from repro.core.controller.response_time_controller import (
 )
 from repro.core.manager import PowerManager, PowerManagerConfig
 from repro.faults import FaultSchedule
+from repro.sim.hybrid import HybridConfig, HybridPlant
 from repro.sim.metrics import SeriesRecorder
 from repro.sysid.experiment import run_identification_experiment
 from repro.sysid.fit import fit_arx
@@ -84,6 +83,16 @@ class TestbedConfig:
     ``attribution_summary`` events + ``TestbedResult.attribution``).
     Both are counter-based and read-only: enabling them never changes
     control decisions or the simulated trajectory.
+
+    ``plant_mode`` selects the request-level plant: ``"des"`` (default)
+    simulates every request; ``"hybrid"`` wraps each plant in a
+    :class:`repro.sim.hybrid.HybridPlant` that fast-forwards
+    quasi-static control periods through the analytic MVA fixed point
+    and falls back to the exact DES around transients (``hybrid`` tunes
+    the switching policy; a plain dict is coerced).  ``des_kernel``
+    selects the event-kernel implementation — ``"fast"`` (default,
+    optimized) or ``"reference"`` (the preserved original; bit-identical,
+    used for equivalence tests and benchmark baselines).
     """
 
     __test__ = False
@@ -111,9 +120,23 @@ class TestbedConfig:
     mpc_warm_start: bool = True
     trace_requests_every: int = 0
     attribute_power: bool = False
+    plant_mode: str = "des"
+    des_kernel: str = "fast"
+    hybrid: Optional[HybridConfig] = None
     seed: int = 2010
 
     def __post_init__(self):
+        if self.plant_mode not in ("des", "hybrid"):
+            raise ValueError(
+                f"plant_mode must be 'des' or 'hybrid', got {self.plant_mode!r}"
+            )
+        if self.des_kernel not in ("fast", "reference"):
+            raise ValueError(
+                f"des_kernel must be 'fast' or 'reference', got {self.des_kernel!r}"
+            )
+        if isinstance(self.hybrid, dict):
+            # Scenario specs carry the switching policy as plain JSON.
+            object.__setattr__(self, "hybrid", HybridConfig(**self.hybrid))
         if self.n_servers < 1 or self.n_apps < 1:
             raise ValueError("need at least one server and one application")
         check_positive("duration_s", self.duration_s)
@@ -154,6 +177,10 @@ class TestbedResult:
     #: :class:`repro.obs.attribution.EnergyAttributor`); ``None`` unless
     #: the run had ``attribute_power=True``.
     attribution: Optional[dict] = None
+    #: Per-app hybrid fast-forward summaries (mode switches, MVA vs
+    #: exact period counts — see :meth:`repro.sim.hybrid.HybridPlant.summary`);
+    #: ``None`` unless the run had ``plant_mode="hybrid"``.
+    hybrid: Optional[Dict[str, dict]] = None
 
     def rt_summary(self, app_index: int) -> dict:
         """Mean/std/min/max of an app's measured response times."""
@@ -193,6 +220,7 @@ class TestbedExperiment:
             [cfg.initial_alloc_ghz] * 2,
             concurrency=cfg.concurrency,
             rng=rng,
+            kernel=cfg.des_kernel,
         )
         lo, hi = cfg.sysid_alloc_range
         data = run_identification_experiment(
@@ -223,7 +251,9 @@ class TestbedExperiment:
             dc,
             PowerManagerConfig(control_period_s=cfg.control_period_s),
         )
-        plants: List[MultiTierApp] = []
+        # MultiTierApp, or HybridPlant wrapping one in hybrid mode —
+        # both expose the same control surface.
+        plants: List = []
         scale_lo, scale_hi = cfg.demand_scale_range
         for i in range(cfg.n_apps):
             # Optional heterogeneity: each app's per-request CPU demands
@@ -248,7 +278,10 @@ class TestbedExperiment:
                 [cfg.initial_alloc_ghz] * 2,
                 concurrency=workload.level(0.0),
                 rng=app_rngs[i],
+                kernel=cfg.des_kernel,
             )
+            if cfg.plant_mode == "hybrid":
+                plant = HybridPlant(plant, cfg.hybrid)
             plants.append(plant)
             vm_ids = [f"app{i}-web", f"app{i}-db"]
             for j, vm_id in enumerate(vm_ids):

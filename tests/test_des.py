@@ -393,3 +393,120 @@ class TestProcessInterrupt:
         # All equal jobs sharing 10 GHz: each sees rate 0.1 GHz -> 10 s.
         for ev in events:
             assert ev.value == pytest.approx(10.0, rel=1e-6)
+
+
+class TestHeapCompaction:
+    """Lazy cancellation: stale handles are counted, then purged in bulk."""
+
+    def test_live_and_total_counts(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        assert sim.heap_size == 10
+        assert sim.live_event_count == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.heap_size == 10  # lazy: entries linger until compaction
+        assert sim.live_event_count == 6
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert sim.live_event_count == 1
+
+    def test_compaction_purges_stale_entries(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(200)]
+        for h in handles[:150]:
+            h.cancel()
+        assert sim.heap_size == 200  # threshold only checked on schedule
+        sim.schedule(500.0, lambda: None)  # 201st push triggers compaction
+        assert sim.live_event_count == 51
+        assert sim.heap_size == 51  # stale entries physically removed
+
+    def test_compaction_deferred_while_live_majority(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(200)]
+        # More than COMPACT_MIN cancelled, but live entries still dominate:
+        # compaction would be wasted work and must not run.
+        for h in handles[: Simulator.COMPACT_MIN + 6]:
+            h.cancel()
+        sim.schedule(500.0, lambda: None)
+        assert sim.heap_size == 201
+        assert sim.live_event_count == 201 - (Simulator.COMPACT_MIN + 6)
+
+    def test_dispatch_order_survives_compaction(self):
+        sim = Simulator()
+        log = []
+        survivors = []
+        handles = [sim.schedule(1.0 + i, log.append, i) for i in range(200)]
+        for i, h in enumerate(handles):
+            if i % 4 == 0:
+                survivors.append(i)
+            else:
+                h.cancel()  # 150 of 200 cancelled
+        sim.schedule(500.0, log.append, "last")  # compacts here
+        assert sim.heap_size == sim.live_event_count
+        sim.run()
+        assert log == survivors + ["last"]
+
+    def test_pop_of_cancelled_entry_decrements_counter(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        sim.run()
+        assert sim.heap_size == 0
+        assert sim.live_event_count == 0
+
+
+class TestBatchDispatch:
+    """Same-timestamp runs are dispatched as a batch inside run_until."""
+
+    def test_nested_zero_delay_fires_in_same_batch(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(0.0, nested)
+
+        def second():
+            log.append(("second", sim.now))
+
+        def nested():
+            log.append(("nested", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, second)
+        sim.run_until(1.0)
+        # FIFO within the timestamp; the zero-delay cascade still lands
+        # at t=1.0 and runs before run_until returns.
+        assert log == [("first", 1.0), ("second", 1.0), ("nested", 1.0)]
+        assert sim.now == 1.0
+
+    def test_cancel_within_batch_respected(self):
+        sim = Simulator()
+        log = []
+        handles = {}
+
+        def first():
+            log.append("first")
+            handles["b"].cancel()
+
+        sim.schedule(1.0, first)
+        handles["b"] = sim.schedule(1.0, log.append, "b")
+        sim.schedule(1.0, log.append, "c")
+        sim.run_until(2.0)
+        assert log == ["first", "c"]
+
+    def test_batch_does_not_cross_timestamps(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.run_until(5.0)
+        assert seen == [1.0, 1.0, 2.0]

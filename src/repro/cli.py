@@ -675,29 +675,38 @@ def main_sim(argv: Optional[List[str]] = None) -> int:
     except ScenarioError as exc:
         print(f"repro-sim: {exc}", file=sys.stderr)
         return 1
-    with _telemetry_scope(args.trace_jsonl):
-        if args.resume:
-            try:
-                engine.restore(ControlPlane.load_checkpoint(args.resume))
-            except (OSError, CheckpointError) as exc:
-                print(f"repro-sim: cannot resume {args.resume}: {exc}",
-                      file=sys.stderr)
-                return 1
-            print(f"resumed {spec.name} at period {engine.k}/{engine.n_periods}")
-        else:
-            backend.start()
-        if args.checkpoint is not None:
-            engine.run(until_period=args.checkpoint_at)
-            engine.save_checkpoint(args.checkpoint)
-            print(
-                f"checkpoint at period {engine.k}/{engine.n_periods} "
-                f"written to {args.checkpoint}"
-            )
-            if args.trace_jsonl:
-                print(f"telemetry written to {args.trace_jsonl}")
-            return 0
-        engine.run()
-        result = backend.result()
+    try:
+        with _telemetry_scope(args.trace_jsonl):
+            if args.resume:
+                try:
+                    engine.restore(ControlPlane.load_checkpoint(args.resume))
+                except (OSError, CheckpointError) as exc:
+                    print(f"repro-sim: cannot resume {args.resume}: {exc}",
+                          file=sys.stderr)
+                    return 1
+                print(
+                    f"resumed {spec.name} at period {engine.k}/{engine.n_periods}"
+                )
+            else:
+                backend.start()
+            if args.checkpoint is not None:
+                engine.run(until_period=args.checkpoint_at)
+                engine.save_checkpoint(args.checkpoint)
+                print(
+                    f"checkpoint at period {engine.k}/{engine.n_periods} "
+                    f"written to {args.checkpoint}"
+                )
+                if args.trace_jsonl:
+                    print(f"telemetry written to {args.trace_jsonl}")
+                return 0
+            engine.run()
+            result = backend.result()
+    finally:
+        # The sharded backend may own a worker pool; everything else
+        # has no close() and is skipped.
+        closer = getattr(backend, "close", None)
+        if closer is not None:
+            closer()
     if spec.harness == "testbed":
         from repro.sim.report import testbed_report
 
@@ -709,11 +718,17 @@ def main_sim(argv: Optional[List[str]] = None) -> int:
             f"{result.energy_per_vm_wh:.1f}", result.migrations,
             f"{result.mean_active_servers:.1f}", result.overload_server_steps,
         ]]
+        title = f"{spec.name}: {result.n_steps} steps of {result.step_s:.0f}s"
+        if "n_pods" in result.info:
+            title += (
+                f" · {int(result.info['n_pods'])} pods on "
+                f"{int(result.info['workers'])} workers"
+            )
         print(format_table(
             ["scheme", "#VMs", "energy Wh", "Wh/VM", "moves", "avg active",
              "overload steps"],
             rows,
-            title=f"{spec.name}: {result.n_steps} steps of {result.step_s:.0f}s",
+            title=title,
         ))
     if args.trace_jsonl:
         print(f"telemetry written to {args.trace_jsonl}")

@@ -21,10 +21,10 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.control.arx import ARXModel
-from repro.control.qp import QPResult, solve_qp
+from repro.control.qp import QPResult, solve_qp, solve_qp_batch
 from repro.obs import get_telemetry
 
-__all__ = ["MPCConfig", "MPCSolution", "MPCController"]
+__all__ = ["MPCConfig", "MPCSolution", "MPCController", "solve_mpc_batch"]
 
 
 @dataclass(frozen=True)
@@ -299,6 +299,89 @@ class MPCController:
             tel.count("mpc.terminal_softened")
         return solution
 
+    def _assemble(
+        self,
+        t_hist: Sequence[float],
+        c_hist: np.ndarray,
+        reference: Sequence[float],
+        setpoint: float,
+        c_min: Sequence[float],
+        c_max: Sequence[float],
+        total_cap_ghz: Optional[float] = None,
+        output_bias: float = 0.0,
+    ) -> dict:
+        """Validate inputs and assemble the QP data for one period.
+
+        Returns the cached matrices plus the per-period vectors
+        (``phi``, ``g``, ``b_ub``, ``terminal_rhs``, ``c_now``).  The
+        operations match the pre-extraction inline code exactly, so a
+        solve through this helper is bit-identical to the historical
+        path; :func:`solve_mpc_batch` reuses it to stack many periods
+        into one batched QP.
+        """
+        cfg = self.config
+        model = self.model
+        P, M, m = cfg.prediction_horizon, cfg.control_horizon, model.n_inputs
+        nu = M * m
+        ref = np.asarray(reference, dtype=float)
+        if ref.shape != (P,):
+            raise ValueError(f"reference must have length {P}, got {ref.shape}")
+        c_min = np.asarray(c_min, dtype=float)
+        c_max = np.asarray(c_max, dtype=float)
+        if c_min.shape != (m,) or c_max.shape != (m,):
+            raise ValueError(f"c_min/c_max must have length {m}")
+        if np.any(c_min > c_max):
+            raise ValueError(f"c_min must be <= c_max, got {c_min} > {c_max}")
+        c_now = np.atleast_2d(np.asarray(c_hist, dtype=float))[0]
+
+        cache = self._model_cache()
+        psi = cache["psi"]
+        phi = model.predict_const(t_hist, c_hist, P, M)
+        phi = phi + float(output_bias)
+
+        # Quadratic cost: tracking + control penalty (Hessian cached —
+        # it depends only on the model and the weights).
+        q = cfg.q_weight
+        g = 2.0 * q * psi.T @ (phi - ref)
+        if self._g_power is not None:
+            g = g + self._g_power
+
+        # Bounds on absolute inputs at k+1..k+M:
+        #   c_min <= c_now + cumsum(dc) <= c_max.
+        # The constraint matrix is static per model/cap-shape; only the
+        # right-hand side changes each period.
+        has_cap = total_cap_ghz is not None
+        A_ub, _ = self._constraints(cache, has_cap)
+        upper = c_max - c_now
+        lower = c_now - c_min
+        rhs = []
+        for i in range(M):
+            rhs.append(upper)
+            rhs.append(lower)
+            if has_cap:
+                rhs.append(np.asarray([total_cap_ghz - float(c_now.sum())]))
+        if cfg.delta_max is not None:
+            rhs.append(np.full(nu, cfg.delta_max))
+            rhs.append(np.full(nu, cfg.delta_max))
+        b_ub = np.concatenate(rhs)
+
+        # Terminal constraint (paper Eq. 4): t(k+M|k) = Ts.
+        terminal_row = cache["terminal_row"]
+        terminal_rhs = np.asarray([float(setpoint) - phi[M - 1]])
+
+        return {
+            "cache": cache,
+            "phi": phi,
+            "g": g,
+            "has_cap": has_cap,
+            "A_ub": A_ub,
+            "b_ub": b_ub,
+            "c_now": c_now,
+            "terminal_row": terminal_row,
+            "terminal_rhs": terminal_rhs,
+            "setpoint": float(setpoint),
+        }
+
     def _solve(
         self,
         t_hist: Sequence[float],
@@ -332,55 +415,23 @@ class MPCController:
             the plant-model mismatch, typically a filtered innovation.
         """
         cfg = self.config
-        model = self.model
-        P, M, m = cfg.prediction_horizon, cfg.control_horizon, model.n_inputs
-        nu = M * m
-        ref = np.asarray(reference, dtype=float)
-        if ref.shape != (P,):
-            raise ValueError(f"reference must have length {P}, got {ref.shape}")
-        c_min = np.asarray(c_min, dtype=float)
-        c_max = np.asarray(c_max, dtype=float)
-        if c_min.shape != (m,) or c_max.shape != (m,):
-            raise ValueError(f"c_min/c_max must have length {m}")
-        if np.any(c_min > c_max):
-            raise ValueError(f"c_min must be <= c_max, got {c_min} > {c_max}")
-        c_now = np.atleast_2d(np.asarray(c_hist, dtype=float))[0]
-
-        cache = self._model_cache()
+        asm = self._assemble(
+            t_hist, c_hist, reference, setpoint, c_min, c_max,
+            total_cap_ghz, output_bias,
+        )
+        cache = asm["cache"]
         psi = cache["psi"]
-        phi = model.predict_const(t_hist, c_hist, P, M)
-        phi = phi + float(output_bias)
-
-        # Quadratic cost: tracking + control penalty (Hessian cached —
-        # it depends only on the model and the weights).
-        q = cfg.q_weight
+        phi = asm["phi"]
         H = cache["H"]
-        g = 2.0 * q * psi.T @ (phi - ref)
-        if self._g_power is not None:
-            g = g + self._g_power
-
-        # Bounds on absolute inputs at k+1..k+M:
-        #   c_min <= c_now + cumsum(dc) <= c_max.
-        # The constraint matrix is static per model/cap-shape; only the
-        # right-hand side changes each period.
-        has_cap = total_cap_ghz is not None
-        A_ub, _ = self._constraints(cache, has_cap)
-        upper = c_max - c_now
-        lower = c_now - c_min
-        rhs = []
-        for i in range(M):
-            rhs.append(upper)
-            rhs.append(lower)
-            if has_cap:
-                rhs.append(np.asarray([total_cap_ghz - float(c_now.sum())]))
-        if cfg.delta_max is not None:
-            rhs.append(np.full(nu, cfg.delta_max))
-            rhs.append(np.full(nu, cfg.delta_max))
-        b_ub = np.concatenate(rhs)
-
-        # Terminal constraint (paper Eq. 4): t(k+M|k) = Ts.
-        terminal_row = cache["terminal_row"]
-        terminal_rhs = np.asarray([float(setpoint) - phi[M - 1]])
+        g = asm["g"]
+        has_cap = asm["has_cap"]
+        A_ub = asm["A_ub"]
+        b_ub = asm["b_ub"]
+        c_now = asm["c_now"]
+        terminal_row = asm["terminal_row"]
+        terminal_rhs = asm["terminal_rhs"]
+        M = cfg.control_horizon
+        nu = M * self.model.n_inputs
 
         warm_on = cfg.warm_start
         self.solves += 1
@@ -440,3 +491,129 @@ class MPCController:
             qp=result,
             terminal_softened=softened,
         )
+
+
+def solve_mpc_batch(
+    controllers: Sequence[MPCController],
+    requests: Sequence[dict],
+) -> list:
+    """Solve many controllers' periods at once, batching shared-model QPs.
+
+    ``requests[i]`` is a dict of keyword arguments for
+    :meth:`MPCController.solve` (``t_hist``, ``c_hist``, ``reference``,
+    ``setpoint``, ``c_min``, ``c_max``, and optionally
+    ``total_cap_ghz``/``output_bias``).  Controllers whose model
+    parameters, horizons, and constraint geometry coincide are grouped
+    and their hard-terminal QPs solved by one
+    :func:`repro.control.qp.solve_qp_batch` call — a single stacked-RHS
+    linear solve per active-set round instead of one KKT factorization
+    per controller.  Warm-start working sets and solve counters are
+    read and written per controller exactly as in the scalar path.
+
+    Batching pays off for homogeneous fleets (controllers still on the
+    same identified model, e.g. before per-app RLS estimates diverge, or
+    synthetic sweeps); controllers that group alone fall back to the
+    scalar :meth:`MPCController.solve`, as do softened/degenerate
+    members of a batch.  Results are *allclose* to, not bit-identical
+    with, sequential scalar solves (multi-RHS LAPACK) — golden-hash
+    pipelines must keep calling :meth:`MPCController.solve`.
+
+    Returns the list of :class:`MPCSolution` in request order.
+    """
+    if len(controllers) != len(requests):
+        raise ValueError(
+            f"controllers and requests must pair up, got "
+            f"{len(controllers)} vs {len(requests)}"
+        )
+    results: list = [None] * len(controllers)
+    groups: dict = {}
+    for i, ctrl in enumerate(controllers):
+        cfg = ctrl.config
+        model = ctrl.model
+        key = (
+            model.a.shape, model.a.tobytes(),
+            model.b.shape, model.b.tobytes(), model.g,
+            cfg.prediction_horizon, cfg.control_horizon,
+            cfg.q_weight, tuple(ctrl._r_vec), cfg.delta_max,
+            cfg.terminal_constraint,
+            requests[i].get("total_cap_ghz") is not None,
+        )
+        groups.setdefault(key, []).append(i)
+
+    tel = get_telemetry()
+    for key, members in groups.items():
+        hard_terminal = key[-2]
+        if len(members) == 1 or not hard_terminal:
+            for i in members:
+                results[i] = controllers[i].solve(**requests[i])
+            continue
+        asms = [controllers[i]._assemble(**requests[i]) for i in members]
+        has_cap = asms[0]["has_cap"]
+        H = asms[0]["cache"]["H"]
+        A_ub = asms[0]["A_ub"]
+        terminal_row = asms[0]["terminal_row"]
+        g_stack = np.stack([a["g"] for a in asms])
+        b_eq_stack = np.stack([a["terminal_rhs"] for a in asms])
+        b_ub_stack = np.stack([a["b_ub"] for a in asms])
+        warms = [
+            controllers[i]._warm_active.get(("hard", has_cap))
+            if controllers[i].config.warm_start
+            else None
+            for i in members
+        ]
+        qps = solve_qp_batch(
+            H, g_stack, A_eq=terminal_row, b_eq_batch=b_eq_stack,
+            A_ub=A_ub, b_ub_batch=b_ub_stack, warm_starts=warms,
+        )
+        n_soft = 0
+        n_warm = 0
+        for asm, i, res in zip(asms, members, qps):
+            ctrl = controllers[i]
+            cfg = ctrl.config
+            ctrl.solves += 1
+            if res.warm_started:
+                ctrl.warm_hits += 1
+                n_warm += 1
+            psi = asm["cache"]["psi"]
+            if res.ok:
+                if cfg.warm_start and res.status == "optimal":
+                    ctrl._warm_active[("hard", has_cap)] = res.active_set
+                results[i] = ctrl._package(
+                    res, asm["phi"], psi, asm["c_now"], softened=False
+                )
+                continue
+            # Hard terminal infeasible for this member: soften it alone
+            # (the scalar treatment; softening is rare, so no batch).
+            n_soft += 1
+            M = cfg.control_horizon
+            w = cfg.terminal_soft_weight
+            H2 = ctrl._soft_hessian(asm["cache"])
+            g2 = asm["g"] + 2.0 * w * asm["terminal_row"][0] * (
+                asm["phi"][M - 1] - asm["setpoint"]
+            )
+            soft_seed = (
+                ctrl._warm_active.get(("soft", has_cap))
+                if cfg.warm_start
+                else None
+            )
+            res2 = solve_qp(
+                H2, g2, A_ub=asm["A_ub"], b_ub=asm["b_ub"], warm_start=soft_seed
+            )
+            if res2.warm_started:
+                ctrl.warm_hits += 1
+            if cfg.warm_start and res2.status == "optimal":
+                ctrl._warm_active[("soft", has_cap)] = res2.active_set
+            if not res2.ok:
+                res2 = QPResult(
+                    np.zeros(M * ctrl.model.n_inputs), "infeasible-hold", 0, ()
+                )
+            results[i] = ctrl._package(
+                res2, asm["phi"], psi, asm["c_now"], softened=True
+            )
+        if tel.enabled:
+            tel.count("mpc.solves", len(members))
+            if n_warm:
+                tel.count("mpc.warm_hits", n_warm)
+            if n_soft:
+                tel.count("mpc.terminal_softened", n_soft)
+    return results

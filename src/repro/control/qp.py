@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
-__all__ = ["QPResult", "solve_qp"]
+__all__ = ["QPResult", "solve_qp", "solve_qp_batch"]
 
 #: Iterations a warm-started attempt may spend before the seed is
 #: declared unhelpful and the working set restarts from empty.  A good
@@ -248,3 +248,192 @@ def solve_qp(
         # bad seed) must never end worse than a cold one: rerun cold.
         return solve_qp(H, g, A_eq, b_eq, A_ub, b_ub, max_iter, tol, None)
     return _scipy_fallback(H, g, A_eq, b_eq, A_ub, b_ub, x, max_iter, warm)
+
+
+def solve_qp_batch(
+    H: np.ndarray,
+    g_batch: np.ndarray,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq_batch: Optional[np.ndarray] = None,
+    A_ub: Optional[np.ndarray] = None,
+    b_ub_batch: Optional[np.ndarray] = None,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+    warm_starts: Optional[Sequence[Optional[Sequence[int]]]] = None,
+) -> List[QPResult]:
+    """Solve B convex QPs sharing ``H``/``A_eq``/``A_ub`` in lock step.
+
+    This is the batch form of :func:`solve_qp` for fleets of structurally
+    identical controllers (same model horizon, same constraint geometry)
+    whose per-period data differ only in the linear term ``g`` and the
+    right-hand sides: ``g_batch`` is ``(B, n)``, ``b_eq_batch`` is
+    ``(B, n_eq)``, ``b_ub_batch`` is ``(B, n_ub)``.
+
+    Each active-set round groups the still-pending problems by their
+    current working set; every group shares one KKT matrix, so its
+    members are solved with a single stacked-RHS ``np.linalg.solve``
+    instead of B separate factorizations.  The per-problem drop/add
+    bookkeeping is unchanged from the scalar solver, and any problem
+    that leaves the happy path (singular group KKT, stale seed on a
+    degenerate set, iteration stall) is handed to :func:`solve_qp`
+    individually, so batch results carry the same status semantics.
+
+    Equivalence: LAPACK's multi-RHS solve is *allclose* to, but not
+    bit-identical with, a sequence of single-RHS solves — callers that
+    pin golden hashes must stay on :func:`solve_qp`.
+    """
+    H = np.asarray(H, dtype=float)
+    g_batch = np.atleast_2d(np.asarray(g_batch, dtype=float))
+    B, n = g_batch.shape
+    if H.shape != (n, n):
+        raise ValueError(f"H must be {n}x{n}, got {H.shape}")
+    H = 0.5 * (H + H.T)
+
+    A_eq = np.zeros((0, n)) if A_eq is None else np.atleast_2d(np.asarray(A_eq, float))
+    A_ub = np.zeros((0, n)) if A_ub is None else np.atleast_2d(np.asarray(A_ub, float))
+    n_eq = A_eq.shape[0]
+    n_ub = A_ub.shape[0]
+    if b_eq_batch is None:
+        b_eq_batch = np.zeros((B, n_eq))
+    b_eq_batch = np.atleast_2d(np.asarray(b_eq_batch, dtype=float))
+    if b_ub_batch is None:
+        b_ub_batch = np.zeros((B, n_ub))
+    b_ub_batch = np.atleast_2d(np.asarray(b_ub_batch, dtype=float))
+    if b_eq_batch.shape != (B, n_eq):
+        raise ValueError(
+            f"b_eq_batch must be ({B}, {n_eq}), got {b_eq_batch.shape}"
+        )
+    if b_ub_batch.shape != (B, n_ub):
+        raise ValueError(
+            f"b_ub_batch must be ({B}, {n_ub}), got {b_ub_batch.shape}"
+        )
+    if warm_starts is not None and len(warm_starts) != B:
+        raise ValueError(f"warm_starts must have length {B}, got {len(warm_starts)}")
+
+    def _scalar(i: int, warm_seed) -> QPResult:
+        return solve_qp(
+            H, g_batch[i], A_eq, b_eq_batch[i], A_ub, b_ub_batch[i],
+            max_iter, tol, warm_seed,
+        )
+
+    results: List[Optional[QPResult]] = [None] * B
+    # Per-problem mutable solver state, mirroring the scalar loop.
+    actives: List[List[int]] = []
+    warm_flags: List[bool] = []
+    seed_unverified: List[bool] = []
+    for i in range(B):
+        active: List[int] = []
+        seed = warm_starts[i] if warm_starts is not None else None
+        if seed is not None:
+            seen = set()
+            for idx in seed:
+                idx = int(idx)
+                if 0 <= idx < n_ub and idx not in seen:
+                    seen.add(idx)
+                    active.append(idx)
+        actives.append(active)
+        warm_flags.append(bool(active))
+        seed_unverified.append(bool(active))
+
+    pending = list(range(B))
+    for iteration in range(1, max_iter + 1):
+        if not pending:
+            break
+        if iteration > _WARM_ITER_BUDGET:
+            for i in pending:
+                if warm_flags[i]:
+                    warm_flags[i] = False
+                    seed_unverified[i] = False
+                    actives[i] = []
+        groups: dict = {}
+        for i in pending:
+            groups.setdefault(tuple(actives[i]), []).append(i)
+        next_pending: List[int] = []
+        for key, members in groups.items():
+            active = list(key)
+            m = n_eq + len(active)
+            rhs = np.empty((n + m, len(members)))
+            for col, i in enumerate(members):
+                rhs[:n, col] = -g_batch[i]
+                if n_eq:
+                    rhs[n : n + n_eq, col] = b_eq_batch[i]
+                if active:
+                    rhs[n + n_eq :, col] = b_ub_batch[i][active]
+            if m == 0:
+                try:
+                    sol = np.linalg.solve(H, rhs)
+                except np.linalg.LinAlgError:
+                    for i in members:
+                        results[i] = _scalar(i, None)
+                    continue
+            else:
+                C = np.vstack([A_eq, A_ub[active]])
+                kkt = np.zeros((n + m, n + m))
+                kkt[:n, :n] = H
+                kkt[:n, n:] = C.T
+                kkt[n:, :n] = C
+                try:
+                    sol = np.linalg.solve(kkt, rhs)
+                except np.linalg.LinAlgError:
+                    # Degenerate working set: the scalar path handles it
+                    # (least-squares iterate + seed verification).
+                    for i in members:
+                        results[i] = _scalar(i, None)
+                    continue
+            for col, i in enumerate(members):
+                x = sol[:n, col]
+                nu = sol[n:, col]
+                b_eq = b_eq_batch[i]
+                b_ub = b_ub_batch[i]
+                act = actives[i]
+
+                if seed_unverified[i]:
+                    seed_unverified[i] = False
+                    bad_eq = n_eq and np.max(np.abs(A_eq @ x - b_eq)) > 1e-6
+                    bad_ub = (
+                        act and np.max(np.abs(A_ub[act] @ x - b_ub[act])) > 1e-6
+                    )
+                    if bad_eq or bad_ub:
+                        warm_flags[i] = False
+                        actives[i] = []
+                        next_pending.append(i)
+                        continue
+
+                if act:
+                    ineq_mult = nu[n_eq:]
+                    worst = int(np.argmin(ineq_mult))
+                    if ineq_mult[worst] < -tol:
+                        act.pop(worst)
+                        next_pending.append(i)
+                        continue
+
+                if n_ub:
+                    resid = A_ub @ x - b_ub
+                    resid[act] = -np.inf
+                    worst = int(np.argmax(resid))
+                    if resid[worst] > tol:
+                        act.append(worst)
+                        next_pending.append(i)
+                        continue
+
+                if n_eq and np.max(np.abs(A_eq @ x - b_eq)) > 1e-6:
+                    results[i] = _scalar(i, None)
+                    continue
+                if (
+                    warm_flags[i]
+                    and act
+                    and np.max(np.abs(A_ub[act] @ x - b_ub[act])) > 1e-6
+                ):
+                    # Warm path wandered into a degenerate set; the cold
+                    # scalar solve never takes that route.
+                    results[i] = _scalar(i, None)
+                    continue
+
+                results[i] = QPResult(
+                    x.copy(), "optimal", iteration, tuple(sorted(act)), warm_flags[i]
+                )
+        pending = next_pending
+
+    for i in pending:
+        results[i] = _scalar(i, None)
+    return results  # type: ignore[return-value]

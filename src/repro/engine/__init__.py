@@ -47,6 +47,7 @@ __all__ = [
     "SysIdUpdater",
     "TelemetrySink",
     "build_largescale_engine",
+    "build_sharded_engine",
     "build_testbed_engine",
 ]
 
@@ -58,6 +59,10 @@ def __getattr__(name):
         from repro.engine.largescale_backend import build_largescale_engine
 
         return build_largescale_engine
+    if name == "build_sharded_engine":
+        from repro.engine.sharded_backend import build_sharded_engine
+
+        return build_sharded_engine
     if name == "build_testbed_engine":
         from repro.engine.testbed_backend import build_testbed_engine
 

@@ -92,6 +92,9 @@ class LargeScaleBackend:
         servers: Optional[Sequence[Server]] = None,
         rng: RngLike = None,
         optimizer: Optional[Callable[[PlacementProblem], PlacementPlan]] = None,
+        vm_peaks: Optional[np.ndarray] = None,
+        vm_memories: Optional[np.ndarray] = None,
+        vm_id_start: int = 0,
     ):
         self.config = config
         generator = ensure_rng(rng if rng is not None else config.seed)
@@ -100,10 +103,32 @@ class LargeScaleBackend:
                 f"trace has {trace.n_series} series < n_vms={config.n_vms}"
             )
         sub = trace.subset(config.n_vms)
-        self.peaks = generator.uniform(*config.vm_peak_range_ghz, size=config.n_vms)
-        self.memories = generator.choice(
-            np.asarray(config.vm_memory_choices_mb, dtype=float), size=config.n_vms
-        )
+        # A sharded parent draws the global VM population once (exactly
+        # as a single-process run would) and injects each pod's slice,
+        # so pod backends must not consume the generator for it.
+        if vm_peaks is not None:
+            self.peaks = np.asarray(vm_peaks, dtype=float)
+            if self.peaks.shape != (config.n_vms,):
+                raise ValueError(
+                    f"vm_peaks has shape {self.peaks.shape}, expected ({config.n_vms},)"
+                )
+        else:
+            self.peaks = generator.uniform(
+                *config.vm_peak_range_ghz, size=config.n_vms
+            )
+        if vm_memories is not None:
+            self.memories = np.asarray(vm_memories, dtype=float)
+            if self.memories.shape != (config.n_vms,):
+                raise ValueError(
+                    f"vm_memories has shape {self.memories.shape}, "
+                    f"expected ({config.n_vms},)"
+                )
+        else:
+            self.memories = generator.choice(
+                np.asarray(config.vm_memory_choices_mb, dtype=float),
+                size=config.n_vms,
+            )
+        self.vm_id_start = int(vm_id_start)
         self.demands = sub.demands_ghz(self.peaks)  # (n_vms, n_steps)
         self.n_vms, self.n_steps = self.demands.shape
         self.dt_s = sub.interval_s
@@ -173,7 +198,9 @@ class LargeScaleBackend:
             range(n_srv),
             key=lambda i: (-self.srv_eff[i], server_list[i].server_id),
         )
-        self.vm_ids = [f"vm{j:05d}" for j in range(self.n_vms)]
+        self.vm_ids = [
+            f"vm{j + self.vm_id_start:05d}" for j in range(self.n_vms)
+        ]
         self.sid_to_idx = {s.server_id: i for i, s in enumerate(server_list)}
         self.idx_to_sid = [s.server_id for s in server_list]
         self.sid_to_vmidx = {self.vm_ids[j]: j for j in range(self.n_vms)}

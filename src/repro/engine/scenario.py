@@ -33,7 +33,12 @@ __all__ = [
 ]
 
 #: Harnesses a scenario can target.
-HARNESSES: Tuple[str, ...] = ("testbed", "largescale")
+HARNESSES: Tuple[str, ...] = ("testbed", "largescale", "sharded")
+
+#: Sharding keys a ``sharded`` scenario's params may carry on top of
+#: the large-scale config fields (see
+#: :class:`repro.engine.sharded_backend.ShardedConfig`).
+_SHARD_KEYS: Tuple[str, ...] = ("n_pods", "workers", "sync_every_steps")
 
 #: Workload spec types → (constructor name, required numeric fields).
 _WORKLOAD_TYPES: Dict[str, Tuple[str, ...]] = {
@@ -56,13 +61,19 @@ class ScenarioSpec:
     name / description:
         Identity and one-line intent, shown by ``repro-scenario list``.
     harness:
-        ``"testbed"`` (request-level DES, MPC controllers) or
-        ``"largescale"`` (trace-driven vectorized plant).
+        ``"testbed"`` (request-level DES, MPC controllers),
+        ``"largescale"`` (trace-driven vectorized plant), or
+        ``"sharded"`` (the large-scale plant partitioned into pods
+        behind one control plane, optionally on a process pool).
     params:
         Keyword arguments for the harness config class
         (:class:`~repro.sim.testbed.TestbedConfig` or
         :class:`~repro.sim.largescale.LargeScaleConfig`).  JSON lists
-        are coerced to the tuples the configs expect.
+        are coerced to the tuples the configs expect.  A ``sharded``
+        scenario additionally takes ``n_pods`` / ``workers`` /
+        ``sync_every_steps`` (see
+        :class:`~repro.engine.sharded_backend.ShardedConfig`); every
+        other key configures the underlying large-scale plant.
     model:
         Testbed only: ``{"a": [...], "b": [[...], ...], "g": float}``.
         When given, all controllers share this ARX model and the (slow)
@@ -240,7 +251,7 @@ class ScenarioSpec:
                 return ["trace: only the largescale harness takes a trace recipe"]
             return []
         if self.trace is None:
-            return ["trace: the largescale harness needs a trace recipe "
+            return [f"trace: the {self.harness} harness needs a trace recipe "
                     '{"n_servers", "n_days", "seed"}']
         unknown = set(self.trace) - {"n_servers", "n_days", "seed"}
         if unknown:
@@ -276,6 +287,10 @@ class ScenarioSpec:
             return build_testbed_engine(
                 config=self._make_config(), model=self._make_model(), rng=rng
             )
+        if self.harness == "sharded":
+            from repro.engine.sharded_backend import build_sharded_engine
+
+            return build_sharded_engine(self._make_trace(), self._make_config())
         from repro.engine.largescale_backend import build_largescale_engine
 
         return build_largescale_engine(
@@ -302,6 +317,13 @@ class ScenarioSpec:
             return TestbedConfig(**params)
         from repro.sim.largescale import LargeScaleConfig
 
+        if self.harness == "sharded":
+            from repro.engine.sharded_backend import ShardedConfig
+
+            shard_kwargs = {
+                key: int(params.pop(key)) for key in _SHARD_KEYS if key in params
+            }
+            return ShardedConfig(base=LargeScaleConfig(**params), **shard_kwargs)
         return LargeScaleConfig(**params)
 
     def _make_model(self):
@@ -495,6 +517,23 @@ _BUILTINS: List[ScenarioSpec] = [
         params=_LS_PARAMS,
         trace=_LS_TRACE,
         faults=_LS_FAULTS,
+    ),
+    ScenarioSpec(
+        name="sharded-small",
+        description="largescale-small partitioned into 2 pods behind one "
+        "control plane (2 process-pool workers)",
+        harness="sharded",
+        params={**_LS_PARAMS, "n_pods": 2, "workers": 2},
+        trace=_LS_TRACE,
+    ),
+    ScenarioSpec(
+        name="sharded-paper",
+        description="paper scale: 20,000 VMs on 5,415 servers over a 1-day "
+        "trace, 8 pods on 4 workers",
+        harness="sharded",
+        params={"n_vms": 20000, "n_servers": 5415, "seed": 5,
+                "n_pods": 8, "workers": 4},
+        trace={"n_servers": 20000, "n_days": 1, "seed": 13},
     ),
     ScenarioSpec(
         name="largescale-pmapper",

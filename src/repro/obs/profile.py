@@ -32,6 +32,7 @@ _PREFIX = "phase."
 def profile_events(records: List[dict]) -> dict:
     """Reduce telemetry records to a per-phase kernel profile dict."""
     phases: Dict[str, dict] = {}
+    per_pod: Dict[int, dict] = {}
     metrics = None
     for rec in records:
         kind = rec.get("kind")
@@ -56,6 +57,15 @@ def profile_events(records: List[dict]) -> dict:
             entry["max_ms"] = max(entry["max_ms"], dur * 1000.0)
             entry["cpu_s"] += float(rec.get("cpu_s", 0.0))
             entry["alloc_blocks"] += int(rec.get("alloc_blocks", 0))
+            # Spans re-emitted by the sharded backend carry the pod that
+            # produced them; aggregate a per-pod view alongside.
+            if "pod" in rec:
+                pod = per_pod.setdefault(int(rec["pod"]), {
+                    "spans": 0, "wall_s": 0.0, "cpu_s": 0.0,
+                })
+                pod["spans"] += 1
+                pod["wall_s"] += dur
+                pod["cpu_s"] += float(rec.get("cpu_s", 0.0))
         elif kind == "metrics":
             metrics = rec.get("metrics")
 
@@ -86,6 +96,7 @@ def profile_events(records: List[dict]) -> dict:
     return {
         "phases": dict(sorted(phases.items(), key=lambda kv: -kv[1]["wall_s"])),
         "total_wall_s": total_wall,
+        "per_pod": dict(sorted(per_pod.items())),
         "sampled": any(
             e["exact"] and e["sampled_records"] < e["count"]
             for e in phases.values()
@@ -129,9 +140,28 @@ def render_profile(profile: dict, title: str = "kernel phase profile") -> str:
             "\n\nwall columns are exact (histogram-backed); cpu/alloc are "
             "estimates from sampled span records."
         )
-    return header + "\n\n" + format_table(
+    out = header + "\n\n" + format_table(
         ["phase", "count", "share", "wall s", "mean ms", "max ms",
          "cpu s", "alloc blocks"],
         rows,
         title="Per-phase cost",
-    ) + note
+    )
+    per_pod = profile.get("per_pod") or {}
+    if per_pod:
+        pod_wall = sum(p["wall_s"] for p in per_pod.values())
+        pod_rows = [
+            [
+                f"pod {pod_id}",
+                entry["spans"],
+                f"{entry['wall_s'] / pod_wall:.1%}" if pod_wall > 0 else "-",
+                f"{entry['wall_s']:.3f}",
+                f"{entry['cpu_s']:.3f}",
+            ]
+            for pod_id, entry in per_pod.items()
+        ]
+        out += "\n\n" + format_table(
+            ["pod", "spans", "share", "wall s", "cpu s"],
+            pod_rows,
+            title="Per-pod span cost (sharded run)",
+        )
+    return out + note

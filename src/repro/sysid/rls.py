@@ -20,7 +20,7 @@ from repro.control.arx import ARXModel
 from repro.obs import get_telemetry
 from repro.util.validation import check_in_range, check_positive
 
-__all__ = ["RecursiveARXEstimator"]
+__all__ = ["RecursiveARXEstimator", "rls_update_batch"]
 
 
 class RecursiveARXEstimator:
@@ -191,3 +191,93 @@ class RecursiveARXEstimator:
         np.clip(self.theta[: self.na], 0.0, 0.98, out=self.theta[: self.na])
         b_slice = slice(self.na, self.na + self.nb * self.m)
         np.clip(self.theta[b_slice], None, 0.0, out=self.theta[b_slice])
+
+
+def rls_update_batch(
+    estimators: Sequence[RecursiveARXEstimator],
+    measurements: Sequence[tuple],
+) -> list:
+    """One RLS step for many estimators as stacked array arithmetic.
+
+    ``measurements[i]`` is ``(measured_t, t_hist, c_hist)`` — the
+    arguments of :meth:`RecursiveARXEstimator.update` for estimator i.
+    Estimators with the same ARX shape ``(na, nb, m)`` are stacked into
+    ``(B, n)`` parameter and ``(B, n, n)`` covariance arrays and updated
+    with batched einsums — one NumPy dispatch per fleet instead of one
+    per app.  Per-estimator scalars (forgetting, step limits, trace
+    caps) ride along as broadcast vectors, and the usual holds apply
+    elementwise: a non-finite measurement or regressor leaves that
+    estimator untouched.
+
+    The arithmetic reorders floating-point sums (einsum vs. matvec), so
+    results are *allclose* to, not bit-identical with, sequential
+    :meth:`~RecursiveARXEstimator.update` calls — checkpointed
+    golden-hash runs must keep the scalar path.
+
+    Returns the list of updated :class:`ARXModel` in input order.
+    """
+    if len(estimators) != len(measurements):
+        raise ValueError(
+            f"estimators and measurements must pair up, got "
+            f"{len(estimators)} vs {len(measurements)}"
+        )
+    groups: dict = {}
+    for i, est in enumerate(estimators):
+        groups.setdefault((est.na, est.nb, est.m), []).append(i)
+
+    tel = get_telemetry()
+    for (na, nb, m), members in groups.items():
+        live = []
+        xs = []
+        ys = []
+        for i in members:
+            measured_t, t_hist, c_hist = measurements[i]
+            if not np.isfinite(measured_t):
+                continue
+            x = estimators[i].regressor(t_hist, c_hist)
+            if not np.all(np.isfinite(x)):
+                continue
+            live.append(i)
+            xs.append(x)
+            ys.append(float(measured_t))
+        if not live:
+            continue
+        B = len(live)
+        x = np.stack(xs)                                   # (B, n)
+        y = np.asarray(ys)                                 # (B,)
+        theta = np.stack([estimators[i].theta for i in live])   # (B, n)
+        P = np.stack([estimators[i].P for i in live])           # (B, n, n)
+        lam = np.asarray([estimators[i].forgetting for i in live])
+        limit = np.stack(
+            [estimators[i].max_relative_step * estimators[i].scale for i in live]
+        )
+        cap = np.asarray([estimators[i]._trace_cap for i in live])
+
+        Px = np.einsum("bij,bj->bi", P, x)
+        denom = lam + np.einsum("bi,bi->b", x, Px)
+        gain = Px / denom[:, None]
+        innovation = y - np.einsum("bi,bi->b", x, theta)
+        step = gain * innovation[:, None]
+        np.clip(step, -limit, limit, out=step)
+        theta = theta + step
+        P = (P - gain[:, :, None] * Px[:, None, :]) / lam[:, None, None]
+        trace = np.einsum("bii->b", P)
+        inflated = trace > cap
+        if np.any(inflated):
+            P[inflated] *= (cap[inflated] / trace[inflated])[:, None, None]
+
+        proj = np.asarray([estimators[i].project for i in live])
+        if np.any(proj):
+            a_part = np.clip(theta[:, :na], 0.0, 0.98)
+            b_part = np.clip(theta[:, na : na + nb * m], None, 0.0)
+            theta[proj, :na] = a_part[proj]
+            theta[proj, na : na + nb * m] = b_part[proj]
+
+        for row, i in enumerate(live):
+            est = estimators[i]
+            est.theta = theta[row]
+            est.P = P[row]
+            est.n_updates += 1
+        if tel.enabled:
+            tel.count("sysid.rls.updates", B)
+    return [est.model for est in estimators]

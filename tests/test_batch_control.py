@@ -1,0 +1,233 @@
+"""Batched control kernel: stacked QP, fleet MPC, stacked RLS.
+
+The batch paths are documented as *allclose*-equivalent to their scalar
+counterparts (multi-RHS LAPACK and einsum reorder floating-point sums),
+so every test here compares against the scalar implementation on the
+same inputs rather than against golden numbers.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.control.arx import ARXModel
+from repro.control.mpc_core import MPCConfig, MPCController, solve_mpc_batch
+from repro.control.qp import solve_qp, solve_qp_batch
+from repro.sysid.rls import RecursiveARXEstimator, rls_update_batch
+
+
+def _spd(rng, n):
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestSolveQpBatch:
+    def test_matches_scalar_across_constraint_patterns(self):
+        rng = np.random.default_rng(0)
+        n, B = 6, 25
+        for trial in range(8):
+            H = _spd(rng, n)
+            A_eq = rng.normal(size=(1, n))
+            A_ub = np.vstack([np.eye(n), -np.eye(n), rng.normal(size=(3, n))])
+            g = 3.0 * rng.normal(size=(B, n))
+            b_eq = 0.2 * rng.normal(size=(B, 1))
+            b_ub = np.abs(rng.normal(size=(B, A_ub.shape[0]))) + 0.1
+            batch = solve_qp_batch(H, g, A_eq, b_eq, A_ub, b_ub)
+            for i in range(B):
+                ref = solve_qp(H, g[i], A_eq, b_eq[i], A_ub, b_ub[i])
+                assert batch[i].ok == ref.ok
+                if ref.ok:
+                    np.testing.assert_allclose(batch[i].x, ref.x, atol=1e-7)
+
+    def test_inequality_only_and_unconstrained(self):
+        rng = np.random.default_rng(1)
+        n, B = 4, 10
+        H = _spd(rng, n)
+        g = rng.normal(size=(B, n))
+        # Unconstrained: x = -H^-1 g.
+        for i, res in enumerate(solve_qp_batch(H, g)):
+            np.testing.assert_allclose(res.x, np.linalg.solve(H, -g[i]), atol=1e-9)
+        A_ub = np.vstack([np.eye(n), -np.eye(n)])
+        b_ub = np.abs(rng.normal(size=(B, 2 * n))) + 0.05
+        for i, res in enumerate(solve_qp_batch(H, g, A_ub=A_ub, b_ub_batch=b_ub)):
+            ref = solve_qp(H, g[i], A_ub=A_ub, b_ub=b_ub[i])
+            np.testing.assert_allclose(res.x, ref.x, atol=1e-7)
+
+    def test_warm_starts_reach_same_optimum(self):
+        rng = np.random.default_rng(2)
+        n, B = 5, 20
+        H = _spd(rng, n)
+        A_ub = np.vstack([np.eye(n), -np.eye(n)])
+        g = 3.0 * rng.normal(size=(B, n))
+        b_ub = np.abs(rng.normal(size=(B, 2 * n))) + 0.05
+        cold = solve_qp_batch(H, g, A_ub=A_ub, b_ub_batch=b_ub)
+        warm = solve_qp_batch(
+            H, g, A_ub=A_ub, b_ub_batch=b_ub,
+            warm_starts=[r.active_set for r in cold],
+        )
+        for c, w in zip(cold, warm):
+            np.testing.assert_allclose(w.x, c.x, atol=1e-7)
+            assert w.warm_started or not c.active_set
+
+    def test_shape_validation(self):
+        H = np.eye(3)
+        g = np.zeros((4, 3))
+        with pytest.raises(ValueError):
+            solve_qp_batch(np.eye(2), g)
+        with pytest.raises(ValueError):
+            solve_qp_batch(H, g, A_eq=np.ones((1, 3)), b_eq_batch=np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            solve_qp_batch(H, g, A_ub=np.ones((2, 3)), b_ub_batch=np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            solve_qp_batch(H, g, warm_starts=[None])
+
+
+def _mpc_requests(rng, n, m=3):
+    reqs = []
+    for _ in range(n):
+        t_now = 600.0 + 40.0 * rng.normal()
+        reqs.append(
+            dict(
+                t_hist=[t_now, 600.0],
+                c_hist=np.vstack([np.full(m, 0.7)] * 2),
+                reference=np.full(8, 600.0),
+                setpoint=600.0,
+                c_min=[0.2] * m,
+                c_max=[3.0] * m,
+            )
+        )
+    return reqs
+
+
+class TestSolveMpcBatch:
+    MODEL = ARXModel(
+        a=[0.4], b=[[-800.0, -300.0, -500.0], [-100.0, -50.0, -80.0]], g=1800.0
+    )
+    CFG = MPCConfig(
+        prediction_horizon=8, control_horizon=2, r_weight=1e3, delta_max=0.5
+    )
+
+    def test_matches_sequential_solves_and_counters(self):
+        rng = np.random.default_rng(7)
+        B = 20
+        seq = [MPCController(self.MODEL, self.CFG) for _ in range(B)]
+        bat = [MPCController(self.MODEL, self.CFG) for _ in range(B)]
+        for _ in range(3):  # cold period then warm periods
+            reqs = _mpc_requests(rng, B)
+            want = [c.solve(**r) for c, r in zip(seq, reqs)]
+            got = solve_mpc_batch(bat, reqs)
+            for w, g in zip(want, got):
+                np.testing.assert_allclose(g.delta_c, w.delta_c, atol=1e-6)
+                assert g.terminal_softened == w.terminal_softened
+        assert [c.solves for c in seq] == [c.solves for c in bat]
+        assert [c.warm_hits for c in seq] == [c.warm_hits for c in bat]
+
+    def test_mixed_models_group_independently(self):
+        rng = np.random.default_rng(8)
+        other = ARXModel(
+            a=[0.3], b=[[-600.0, -250.0, -400.0], [-80.0, -40.0, -60.0]], g=1500.0
+        )
+        ctrls = [
+            MPCController(self.MODEL if i % 2 else other, self.CFG)
+            for i in range(10)
+        ]
+        refs = [
+            MPCController(self.MODEL if i % 2 else other, self.CFG)
+            for i in range(10)
+        ]
+        reqs = _mpc_requests(rng, 10)
+        got = solve_mpc_batch(ctrls, reqs)
+        for ref, req, g in zip(refs, reqs, got):
+            np.testing.assert_allclose(
+                g.delta_c, ref.solve(**req).delta_c, atol=1e-6
+            )
+
+    def test_softened_member_matches_scalar(self):
+        # A tiny rate limit makes the terminal equality unreachable, so
+        # every member takes the softening branch.
+        cfg = MPCConfig(
+            prediction_horizon=8, control_horizon=2, r_weight=1e3, delta_max=1e-4
+        )
+        rng = np.random.default_rng(9)
+        B = 4
+        seq = [MPCController(self.MODEL, cfg) for _ in range(B)]
+        bat = [MPCController(self.MODEL, cfg) for _ in range(B)]
+        reqs = _mpc_requests(rng, B)
+        for r in reqs:
+            r["t_hist"] = [1500.0, 1500.0]  # far from the set point
+        want = [c.solve(**r) for c, r in zip(seq, reqs)]
+        got = solve_mpc_batch(bat, reqs)
+        assert all(w.terminal_softened for w in want)
+        for w, g in zip(want, got):
+            assert g.terminal_softened
+            np.testing.assert_allclose(g.delta_c, w.delta_c, atol=1e-6)
+
+    def test_length_mismatch_rejected(self):
+        ctrl = MPCController(self.MODEL, self.CFG)
+        with pytest.raises(ValueError):
+            solve_mpc_batch([ctrl], [])
+
+
+class TestRlsUpdateBatch:
+    MODEL = ARXModel(a=[0.55], b=[[-0.8, -0.4]], g=3.0)
+
+    def _measurements(self, rng, n):
+        meas = []
+        for _ in range(n):
+            t_hist = [2.0 + 0.1 * rng.normal()]
+            c_hist = np.abs(rng.normal(size=(1, 2))) + 1.0
+            y = (
+                3.0 + 0.55 * t_hist[0] - 0.8 * c_hist[0, 0]
+                - 0.4 * c_hist[0, 1] + 0.02 * rng.normal()
+            )
+            meas.append((y, t_hist, c_hist))
+        return meas
+
+    def test_matches_sequential_updates(self):
+        rng = np.random.default_rng(3)
+        B = 24
+        seq = [
+            RecursiveARXEstimator(self.MODEL, forgetting=0.96 + 0.03 * rng.random())
+            for _ in range(B)
+        ]
+        bat = [copy.deepcopy(e) for e in seq]
+        for _ in range(25):
+            meas = self._measurements(rng, B)
+            for e, mm in zip(seq, meas):
+                e.update(*mm)
+            rls_update_batch(bat, meas)
+        for a, b in zip(seq, bat):
+            np.testing.assert_allclose(b.theta, a.theta, atol=1e-9)
+            np.testing.assert_allclose(b.P, a.P, atol=1e-9)
+            assert b.n_updates == a.n_updates
+
+    def test_non_finite_measurement_holds_that_estimator(self):
+        rng = np.random.default_rng(4)
+        ests = [RecursiveARXEstimator(self.MODEL) for _ in range(3)]
+        before = ests[1].theta.copy()
+        meas = self._measurements(rng, 3)
+        meas[1] = (float("nan"),) + meas[1][1:]
+        rls_update_batch(ests, meas)
+        np.testing.assert_array_equal(ests[1].theta, before)
+        assert ests[1].n_updates == 0
+        assert ests[0].n_updates == ests[2].n_updates == 1
+
+    def test_mixed_shapes_group_independently(self):
+        rng = np.random.default_rng(5)
+        small = RecursiveARXEstimator(self.MODEL)
+        big_model = ARXModel(a=[0.4, 0.1], b=[[-0.5], [-0.2]], g=2.0)
+        big = RecursiveARXEstimator(big_model)
+        small_ref = copy.deepcopy(small)
+        big_ref = copy.deepcopy(big)
+        small_meas = self._measurements(rng, 1)[0]
+        big_meas = (2.2, [2.0, 1.9], np.array([[1.1], [0.9]]))
+        rls_update_batch([small, big], [small_meas, big_meas])
+        small_ref.update(*small_meas)
+        big_ref.update(*big_meas)
+        np.testing.assert_allclose(small.theta, small_ref.theta, atol=1e-9)
+        np.testing.assert_allclose(big.theta, big_ref.theta, atol=1e-9)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rls_update_batch([RecursiveARXEstimator(self.MODEL)], [])

@@ -70,7 +70,7 @@ class TestValidate:
             assert spec.validate() == []
 
     def test_harness_checked(self):
-        assert HARNESSES == ("testbed", "largescale")
+        assert HARNESSES == ("testbed", "largescale", "sharded")
         problems = self._spec(harness="cloud").validate()
         assert any("harness" in p for p in problems)
 

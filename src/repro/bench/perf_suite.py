@@ -36,6 +36,15 @@ Cases
     Per-app ARX adaptation across a fleet.  Fast:
     :func:`~repro.sysid.rls.rls_update_batch` — stacked ``(B, n, n)``
     covariance einsums.  Reference: sequential per-app updates.
+``fleet_control``
+    The production control step end to end at a paper-scale app count:
+    hundreds of registered controllers driven through
+    :meth:`~repro.core.manager.PowerManager.control_step`.  Fast:
+    ``control_mode="fleet"`` (the default) — one
+    :class:`~repro.core.fleet.FleetControlStep` run per period.
+    Reference: ``control_mode="scalar"``, the per-app loop.  Unlike
+    ``mpc_batch``/``rls_batch`` this includes the manager dispatch,
+    measurement handling, and demand fan-out around the kernels.
 ``sharded``
     The paper-scale control plane (5,415 servers / 20,000 VMs at full
     scale) through :class:`~repro.engine.sharded_backend.ShardedBackend`.
@@ -93,8 +102,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster import Application, DataCenter, Server, VM
+from repro.cluster.catalog import TESTBED_SERVER
 from repro.control.arx import ARXModel
 from repro.control.mpc_core import MPCConfig, MPCController, solve_mpc_batch
+from repro.core import ControllerConfig, PowerManager, ResponseTimeController
 from repro.core.optimizer.minslack import MinSlackConfig
 from repro.core.optimizer.pac import PACConfig, pac
 from repro.packing.mbs import MemoryConstraint, minimum_bin_slack
@@ -702,6 +714,74 @@ def bench_rls_batch(scale: str) -> CaseResult:
     )
 
 
+def _fleet_manager_periods(n_apps: int, n_periods: int, mode: str) -> int:
+    """Drive ``PowerManager.control_step`` for a fleet of 2-tier apps.
+
+    Unlike ``mpc_batch``/``rls_batch`` — which time the kernels in
+    isolation — this measures the whole production phase 1: manager
+    dispatch, measurement handling, the solve (batched or per-app), and
+    the demand fan-out.  Enough hosts that arbitration stays trivial
+    (the arbitration cost is identical in both arms and would only
+    dilute the number being measured).  Returns total MPC solves.
+    """
+    dc = DataCenter()
+    n_hosts = max(2, n_apps // 4)
+    for j in range(2):
+        for s in range(n_hosts):
+            dc.add_server(Server(f"H{j}-{s}", TESTBED_SERVER))
+    model = ARXModel(a=[0.4], b=[[-800.0, -300.0], [-100.0, -50.0]], g=1800.0)
+    cfg = ControllerConfig(util_band=None)
+    mgr = PowerManager(dc, control_mode=mode)
+    for i in range(n_apps):
+        web, db = f"a{i}-web", f"a{i}-db"
+        for j, vm_id in enumerate((web, db)):
+            dc.add_vm(VM(vm_id, app_id=f"a{i}", tier_index=j,
+                         memory_mb=256, demand_ghz=0.8))
+            dc.place(vm_id, f"H{j}-{i % n_hosts}")
+        dc.add_application(Application(f"a{i}", [web, db]))
+        mgr.register_controller(
+            f"a{i}",
+            ResponseTimeController(
+                model, cfg, c_min=[0.2, 0.2], c_max=[3.0, 3.0],
+                initial_alloc_ghz=[0.8, 0.8],
+            ),
+        )
+    rng = np.random.default_rng(17)
+    for k in range(n_periods):
+        meas = {
+            f"a{i}": 600.0 + 40.0 * np.sin(k / 6.0 + i) + rng.normal(0, 10)
+            for i in range(n_apps)
+        }
+        mgr.control_step(meas)
+    return sum(c._mpc.solves for c in mgr.controllers.values())
+
+
+def bench_fleet_control(scale: str) -> CaseResult:
+    """The tentpole number: fleet control_step vs the scalar loop at a
+    paper-scale app count (the paper's testbed is small, but §V argues
+    hundreds-to-thousands of applications per manager)."""
+    n_apps, n_periods = (300, 8) if scale == "full" else (100, 4)
+    _fleet_manager_periods(8, 2, "fleet")  # warm the process up
+    with get_telemetry().span(
+        "bench.fleet_control", apps=n_apps, periods=n_periods
+    ):
+        t0 = time.perf_counter()
+        solves = _fleet_manager_periods(n_apps, n_periods, "fleet")
+        wall = time.perf_counter() - t0
+        ref_wall = _time(
+            lambda: _fleet_manager_periods(n_apps, n_periods, "scalar")
+        )
+    return CaseResult(
+        name="fleet_control",
+        wall_s=wall,
+        reference_wall_s=ref_wall,
+        speedup=ref_wall / wall,
+        iters=solves,
+        warm_hit_rate=None,
+        detail={"apps": float(n_apps), "periods": float(n_periods)},
+    )
+
+
 # ------------------------------------------------------------ sharded --
 
 #: Records excluded from the golden event-log hash (mirrors
@@ -838,6 +918,7 @@ CASES: Dict[str, Callable[[str], CaseResult]] = {
     "ipac": bench_ipac,
     "mpc_batch": bench_mpc_batch,
     "rls_batch": bench_rls_batch,
+    "fleet_control": bench_fleet_control,
     "des": bench_des,
     "des_hybrid": bench_des_hybrid,
     "telemetry": bench_telemetry,

@@ -103,6 +103,12 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         help="inject the fault scenario described by this JSON spec "
         "(see repro-faults)",
     )
+    parser.add_argument(
+        "--control-mode", choices=("fleet", "scalar"), default="fleet",
+        help="application-level control path: 'fleet' (default) batches "
+        "all apps' sysid/MPC through the grouped kernels; 'scalar' runs "
+        "the per-app reference loop (bit-reproducible goldens)",
+    )
     add_verbosity_flags(parser)
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
@@ -121,6 +127,7 @@ def main_testbed(argv: Optional[List[str]] = None) -> int:
         faults=_load_fault_schedule(args.faults),
         trace_requests_every=max(0, args.trace_requests),
         attribute_power=args.trace_requests > 0,
+        control_mode=args.control_mode,
         seed=args.seed,
     )
     with _telemetry_scope(args.trace_jsonl):
@@ -658,6 +665,13 @@ def main_sim(argv: Optional[List[str]] = None) -> int:
         "--resume", metavar="PATH", default=None,
         help="restore this checkpoint (same scenario!) and run to completion",
     )
+    parser.add_argument(
+        "--control-mode", choices=("fleet", "scalar"), default=None,
+        help="override the scenario's control path (testbed: fleet "
+        "batches all apps' sysid/MPC through the grouped kernels, "
+        "scalar is the bit-reproducible per-app loop; largescale/"
+        "sharded runs are fleet-vectorized either way)",
+    )
     add_verbosity_flags(parser)
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
@@ -670,6 +684,12 @@ def main_sim(argv: Optional[List[str]] = None) -> int:
     from repro.engine.scenario import ScenarioError
 
     spec = _load_scenario(args.scenario)
+    if args.control_mode is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec, params={**spec.params, "control_mode": args.control_mode}
+        )
     try:
         engine, backend = spec.build()
     except ScenarioError as exc:

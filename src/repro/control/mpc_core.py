@@ -496,6 +496,7 @@ class MPCController:
 def solve_mpc_batch(
     controllers: Sequence[MPCController],
     requests: Sequence[dict],
+    stats: Optional[dict] = None,
 ) -> list:
     """Solve many controllers' periods at once, batching shared-model QPs.
 
@@ -517,6 +518,10 @@ def solve_mpc_batch(
     members of a batch.  Results are *allclose* to, not bit-identical
     with, sequential scalar solves (multi-RHS LAPACK) — golden-hash
     pipelines must keep calling :meth:`MPCController.solve`.
+
+    ``stats``, when given a dict, receives grouping telemetry:
+    ``groups`` (member count per group, descending), ``scalar`` (how
+    many members fell back to a scalar solve), ``softened``.
 
     Returns the list of :class:`MPCSolution` in request order.
     """
@@ -540,12 +545,20 @@ def solve_mpc_batch(
         )
         groups.setdefault(key, []).append(i)
 
+    if stats is not None:
+        stats["groups"] = sorted(
+            (len(m) for m in groups.values()), reverse=True
+        )
+        stats["scalar"] = 0
+        stats["softened"] = 0
     tel = get_telemetry()
     for key, members in groups.items():
         hard_terminal = key[-2]
         if len(members) == 1 or not hard_terminal:
             for i in members:
                 results[i] = controllers[i].solve(**requests[i])
+            if stats is not None:
+                stats["scalar"] += len(members)
             continue
         asms = [controllers[i]._assemble(**requests[i]) for i in members]
         has_cap = asms[0]["has_cap"]
@@ -610,6 +623,8 @@ def solve_mpc_batch(
             results[i] = ctrl._package(
                 res2, asm["phi"], psi, asm["c_now"], softened=True
             )
+        if stats is not None and n_soft:
+            stats["softened"] += n_soft
         if tel.enabled:
             tel.count("mpc.solves", len(members))
             if n_warm:

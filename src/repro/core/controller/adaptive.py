@@ -100,16 +100,16 @@ class AdaptiveResponseTimeController(ResponseTimeController):
         self._scored = 0
         self._pred_base: Optional[float] = None
         self._pred_cand: Optional[float] = None
+        self._candidate_model: ARXModel = self.estimator.model
         self.using_candidate = False
         self.candidate_periods = 0
         self.rls_samples = 0
 
-    # -- main loop ------------------------------------------------------
+    # -- adaptation hooks (composed by the base class's update(), and
+    # -- batched across controllers by the fleet control step) ----------
 
-    def update(
-        self, measured_rt_ms: float, used_ghz: Optional[Sequence[float]] = None
-    ) -> np.ndarray:
-        """Score models, learn in shadow, pick the better model, control."""
+    def begin_adaptation(self, measured_rt_ms: float) -> Optional[tuple]:
+        """Score last period's predictions, gate this period's RLS sample."""
         cfg = self.config
         clean = (
             np.isfinite(measured_rt_ms)
@@ -129,8 +129,8 @@ class AdaptiveResponseTimeController(ResponseTimeController):
             )
             self._scored += 1
 
-        # 2. Shadow RLS update on clean, excited samples whose output
-        #    history is itself unclamped (inside the trust region).
+        # 2. Shadow RLS gate: clean, excited samples whose output
+        #    history is itself unclamped (inside the linear trust region).
         c_hist = np.asarray(self._c_hist)
         excited = (
             c_hist.shape[0] < 2
@@ -138,11 +138,19 @@ class AdaptiveResponseTimeController(ResponseTimeController):
         )
         history_clean = all(t < cfg.measurement_limit_ms for t in self._t_hist)
         if clean and excited and history_clean:
-            self.estimator.update(float(measured_rt_ms), list(self._t_hist), c_hist)
             self.rls_samples += 1
+            return (float(measured_rt_ms), list(self._t_hist), c_hist)
+        return None
 
-        # 3. Supervision: pick the active model.
+    def _consume_rls_sample(self, sample: tuple) -> None:
+        measured_t, t_hist, c_hist = sample
+        self.estimator.update(measured_t, t_hist, c_hist)
+
+    def finish_adaptation(self) -> None:
+        """Supervision: pick the active model, rebuilding the MPC on swap."""
+        cfg = self.config
         candidate = self.estimator.model
+        self._candidate_model = candidate
         use_candidate = (
             self._scored >= self._min_scored
             and self._score_base is not None
@@ -162,17 +170,17 @@ class AdaptiveResponseTimeController(ResponseTimeController):
         if use_candidate:
             self.candidate_periods += 1
 
-        out = super().update(measured_rt_ms, used_ghz=used_ghz)
-
-        # 4. Stage both models' one-step predictions of the *next*
-        #    measurement (histories now end at k for outputs, k+1 for
-        #    inputs — exactly one_step's expected layout).
+    def after_update(self) -> None:
+        """Stage both models' one-step predictions of the *next*
+        measurement (histories now end at k for outputs, k+1 for
+        inputs — exactly one_step's expected layout)."""
         t_hist = list(self._t_hist)
         c_hist_next = np.asarray(self._c_hist)
         try:
             self._pred_base = float(self.base_model.one_step(t_hist, c_hist_next))
-            self._pred_cand = float(candidate.one_step(t_hist, c_hist_next))
+            self._pred_cand = float(
+                self._candidate_model.one_step(t_hist, c_hist_next)
+            )
         except ValueError:
             self._pred_base = None
             self._pred_cand = None
-        return out

@@ -19,7 +19,7 @@ from repro.core.controller.reference import exponential_reference
 from repro.obs import get_telemetry
 from repro.util.validation import check_positive
 
-__all__ = ["ControllerConfig", "ResponseTimeController"]
+__all__ = ["ControllerConfig", "PendingUpdate", "ResponseTimeController"]
 
 
 @dataclass(frozen=True)
@@ -123,6 +123,30 @@ class ControllerConfig:
             )
 
 
+@dataclass
+class PendingUpdate:
+    """One controller's period, split at the MPC solve.
+
+    Produced by :meth:`ResponseTimeController.prepare` and consumed by
+    :meth:`ResponseTimeController.finish` — the seam the fleet control
+    step (:class:`repro.core.fleet.FleetControlStep`) batches across:
+    everything before the solve runs per controller, the solves
+    themselves are grouped, and everything after fans back out.
+
+    ``held`` short-circuits the period (missing-measurement hold):
+    ``demands`` already carries the re-emitted allocations and there is
+    nothing to solve.  Otherwise ``request`` holds the exact keyword
+    arguments of :meth:`repro.control.mpc_core.MPCController.solve`, and
+    ``lo``/``hi`` the effective bounds the finish step clips against.
+    """
+
+    held: bool
+    demands: Optional[np.ndarray] = None
+    request: Optional[dict] = None
+    lo: Optional[np.ndarray] = None
+    hi: Optional[np.ndarray] = None
+
+
 class ResponseTimeController:
     """MIMO MPC response-time controller for one application.
 
@@ -168,6 +192,10 @@ class ResponseTimeController:
         self._consecutive_missing = 0
         self.held_updates = 0
         self.last_solution: Optional[MPCSolution] = None
+        #: RLS estimator whose updates the fleet control step batches;
+        #: ``None`` on the plain controller (only the adaptive subclass
+        #: learns online).
+        self.estimator = None
 
     @property
     def output_bias_ms(self) -> float:
@@ -194,6 +222,61 @@ class ResponseTimeController:
         stalling — or (``"hold"``) the last demands are re-emitted
         unchanged for up to ``max_hold_periods`` consecutive losses
         before escalating to the pessimistic substitution.
+
+        The body is a composition of the adaptation hooks and the
+        :meth:`prepare` / :meth:`finish` halves in exactly the inline
+        order the fleet control step reproduces across many controllers,
+        so the scalar and batched paths share every line of per-period
+        state handling.
+        """
+        sample = self.begin_adaptation(measured_rt_ms)
+        if sample is not None:
+            self._consume_rls_sample(sample)
+        self.finish_adaptation()
+        pending = self.prepare(measured_rt_ms, used_ghz=used_ghz)
+        if pending.held:
+            out = pending.demands
+        else:
+            solution = self._mpc.solve(**pending.request)
+            out = self.finish(pending, solution)
+        self.after_update()
+        return out
+
+    # -- adaptation hooks (no-ops on the non-adaptive controller) ------
+
+    def begin_adaptation(self, measured_rt_ms: float) -> Optional[tuple]:
+        """Pre-solve adaptation: score models, gate the RLS sample.
+
+        Returns the ``(measured_t, t_hist, c_hist)`` sample the online
+        estimator should consume this period, or ``None`` when there is
+        nothing to learn (always, on this non-adaptive base class).  The
+        fleet control step collects the returned samples across all
+        controllers and feeds them to one
+        :func:`repro.sysid.rls.rls_update_batch` call.
+        """
+        return None
+
+    def _consume_rls_sample(self, sample: tuple) -> None:
+        """Scalar-path estimator update for :meth:`begin_adaptation`'s
+        sample; the fleet step replaces this with the batched kernel."""
+
+    def finish_adaptation(self) -> None:
+        """Post-estimate supervision (model selection); no-op here."""
+
+    def after_update(self) -> None:
+        """Post-period staging (e.g. one-step predictions); no-op here."""
+
+    # -- the period split at the MPC solve -----------------------------
+
+    def prepare(
+        self, measured_rt_ms: float, used_ghz: Optional[Sequence[float]] = None
+    ) -> PendingUpdate:
+        """Everything before the MPC solve: measurement handling, bias
+        innovation, history push, reference and effective bounds.
+
+        Mutates the controller exactly as the historical inline
+        :meth:`update` did up to the solve call, and returns either a
+        held result or the solve request.
         """
         cfg = self.config
         if not np.isfinite(measured_rt_ms):
@@ -207,7 +290,7 @@ class ResponseTimeController:
                 # and leave model histories / bias untouched.
                 self.held_updates += 1
                 get_telemetry().count("controller.held_updates")
-                return self._c_hist[0].copy()
+                return PendingUpdate(held=True, demands=self._c_hist[0].copy())
             t_k = cfg.measurement_limit_ms
         else:
             self._consecutive_missing = 0
@@ -234,20 +317,25 @@ class ResponseTimeController:
             cfg.ref_time_constant_s,
         )
         lo, hi = self._effective_bounds(used_ghz)
-        solution = self._mpc.solve(
-            self._t_hist,
-            np.asarray(self._c_hist),
-            ref,
-            cfg.setpoint_ms,
-            lo,
-            hi,
+        request = dict(
+            t_hist=self._t_hist,
+            c_hist=np.asarray(self._c_hist),
+            reference=ref,
+            setpoint=cfg.setpoint_ms,
+            c_min=lo,
+            c_max=hi,
             output_bias=self._bias,
         )
+        return PendingUpdate(held=False, request=request, lo=lo, hi=hi)
+
+    def finish(self, pending: PendingUpdate, solution: MPCSolution) -> np.ndarray:
+        """Everything after the MPC solve: record the solution, stage
+        the next innovation, clip and push the new demands."""
         self.last_solution = solution
         # predicted_outputs[0] includes the bias; store the raw model
         # prediction of the next measurement for the next innovation.
         self._last_raw_prediction = float(solution.predicted_outputs[0]) - self._bias
-        c_next = np.clip(self._c_hist[0] + solution.delta_c, lo, hi)
+        c_next = np.clip(self._c_hist[0] + solution.delta_c, pending.lo, pending.hi)
         self._c_hist.insert(0, c_next)
         self._c_hist = self._c_hist[: max(self.model.nb, 1)]
         return c_next.copy()

@@ -1,0 +1,135 @@
+"""Fleet-batched control step: one kernel call per phase, not per app.
+
+The scalar production loop in :class:`repro.core.manager.PowerManager`
+runs each application's :class:`ResponseTimeController` to completion
+before touching the next — one RLS update, one QP factorization, one
+history push per app per period.  At the paper's "thousands of
+applications" scale the per-app Python dispatch dominates.
+
+:class:`FleetControlStep` re-phases the same work across the whole
+fleet using the seam split into the controller by
+:meth:`ResponseTimeController.prepare` / ``finish`` and the adaptation
+hooks:
+
+1. ``begin_adaptation`` for every app (scoring + RLS sample gating);
+2. one :func:`repro.sysid.rls.rls_update_batch` over all gated samples;
+3. ``finish_adaptation`` for every app (model supervision / swap);
+4. ``prepare`` for every app (measurement handling, bias, bounds);
+5. one :func:`repro.control.mpc_core.solve_mpc_batch` over all
+   non-held solve requests (grouped by model/config geometry);
+6. ``finish`` + ``after_update`` fan the solutions back per app.
+
+Controllers are mutually independent — no step of one app's period
+reads another app's state — so this phase reordering changes nothing
+but the interleaving.  The batched kernels themselves are *allclose*
+to, not bit-identical with, the scalar solves (stacked multi-RHS
+LAPACK, einsum reductions); golden-hash pipelines pin
+``control_mode="scalar"`` and the equivalence is asserted by
+``tests/test_fleet.py`` at pinned tolerances.
+
+Missing-measurement holds (``ControllerConfig.missing_policy``) are
+handled inside ``prepare`` exactly as in the scalar path: held apps
+skip the solve batch entirely and re-emit their last demands, counter
+for counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.control.mpc_core import solve_mpc_batch
+from repro.core.controller.response_time_controller import ResponseTimeController
+from repro.sysid.rls import rls_update_batch
+
+__all__ = ["FleetControlStep"]
+
+
+class FleetControlStep:
+    """Batches all registered controllers' periods through the kernels.
+
+    Holds a live reference to the manager's ``controllers`` mapping, so
+    registrations after construction are picked up automatically.
+    """
+
+    def __init__(self, controllers: Mapping[str, ResponseTimeController]):
+        self.controllers = controllers
+
+    def run(
+        self,
+        measurements: Mapping[str, float],
+        used_ghz: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """One fleet period: returns ``(demands_by_app, stats)``.
+
+        ``measurements`` maps app_id -> measured response time (ms, NaN
+        allowed); every key must have a registered controller (the
+        caller validates).  ``stats`` reports the grouping the batch
+        kernels achieved this period — fed to the
+        ``controller.batch_groups`` / ``controller.batch_size`` metrics.
+        """
+        order = list(measurements)
+        ctrls = self.controllers
+        stats: Dict[str, object] = {
+            "apps": len(order),
+            "rls_batched": 0,
+            "rls_groups": [],
+            "held": 0,
+            "solved": 0,
+            "mpc_groups": [],
+        }
+
+        # 1-2. Adaptation: gate every app's RLS sample, then run one
+        # batched estimator update over all of them.
+        estimators = []
+        samples = []
+        for app_id in order:
+            ctrl = ctrls[app_id]
+            sample = ctrl.begin_adaptation(measurements[app_id])
+            if sample is not None and ctrl.estimator is not None:
+                estimators.append(ctrl.estimator)
+                samples.append(sample)
+        if estimators:
+            rls_stats: Dict[str, object] = {}
+            rls_update_batch(estimators, samples, stats=rls_stats)
+            stats["rls_batched"] = len(estimators)
+            stats["rls_groups"] = rls_stats.get("groups", [])
+
+        # 3. Supervision (model selection / MPC swap) per app.
+        for app_id in order:
+            ctrls[app_id].finish_adaptation()
+
+        # 4. Pre-solve half of every period.
+        pendings = {}
+        for app_id in order:
+            usage = used_ghz.get(app_id) if used_ghz is not None else None
+            pendings[app_id] = ctrls[app_id].prepare(
+                measurements[app_id], used_ghz=usage
+            )
+
+        # 5. One grouped MPC solve over the non-held apps.
+        demands: Dict[str, np.ndarray] = {}
+        solve_ids = [a for a in order if not pendings[a].held]
+        for app_id in order:
+            if pendings[app_id].held:
+                demands[app_id] = pendings[app_id].demands
+        if solve_ids:
+            mpc_stats: Dict[str, object] = {}
+            solutions = solve_mpc_batch(
+                [ctrls[a]._mpc for a in solve_ids],
+                [pendings[a].request for a in solve_ids],
+                stats=mpc_stats,
+            )
+            for app_id, solution in zip(solve_ids, solutions):
+                demands[app_id] = ctrls[app_id].finish(
+                    pendings[app_id], solution
+                )
+            stats["mpc_groups"] = mpc_stats.get("groups", [])
+        stats["held"] = len(order) - len(solve_ids)
+        stats["solved"] = len(solve_ids)
+
+        # 6. Post-period staging per app (prediction staging etc.).
+        for app_id in order:
+            ctrls[app_id].after_update()
+        return demands, stats

@@ -21,6 +21,7 @@ import numpy as np
 from repro.cluster.datacenter import DataCenter
 from repro.core.arbitrator import ArbitrationResult, CPUResourceArbitrator
 from repro.core.controller.response_time_controller import ResponseTimeController
+from repro.core.fleet import FleetControlStep
 from repro.core.optimizer.ipac import IPACConfig, ipac
 from repro.core.optimizer.pac import PACConfig, pac
 from repro.core.optimizer.types import (
@@ -78,19 +79,40 @@ class ControlStepResult:
 
 
 class PowerManager:
-    """Coordinates controllers, arbitrators, and the optimizer."""
+    """Coordinates controllers, arbitrators, and the optimizer.
+
+    ``control_mode`` selects the application-level control path:
+    ``"fleet"`` (default, the production path) batches every app's
+    sysid/MPC through the grouped kernels
+    (:class:`repro.core.fleet.FleetControlStep` —
+    :func:`~repro.sysid.rls.rls_update_batch` +
+    :func:`~repro.control.mpc_core.solve_mpc_batch`); ``"scalar"``
+    runs the historical per-app loop.  The two are allclose-equivalent
+    (stacked multi-RHS LAPACK reorders floating-point sums), not
+    bit-identical — golden-hash reproductions pin ``"scalar"``.
+    """
 
     def __init__(
         self,
         dc: DataCenter,
         config: PowerManagerConfig | None = None,
         optimizer: Optional[Optimizer] = None,
+        control_mode: str = "fleet",
     ):
+        if control_mode not in ("fleet", "scalar"):
+            raise ValueError(
+                f"control_mode must be 'fleet' or 'scalar', got {control_mode!r}"
+            )
         self.dc = dc
         self.config = config or PowerManagerConfig()
         self.optimizer: Optimizer = optimizer or (lambda p: ipac(p, IPACConfig()))
         self.arbitrator = CPUResourceArbitrator(self.config.arbitrator_headroom)
         self.controllers: Dict[str, ResponseTimeController] = {}
+        self.control_mode = control_mode
+        # Live view over self.controllers: registrations are picked up.
+        self._fleet = FleetControlStep(self.controllers)
+        #: Grouping stats of the most recent fleet period (telemetry).
+        self.last_fleet_stats: Optional[Dict[str, object]] = None
 
     def register_controller(self, app_id: str, controller: ResponseTimeController) -> None:
         """Attach the response-time controller for a registered app."""
@@ -124,7 +146,11 @@ class PowerManager:
         tel = get_telemetry()
         if not tel.enabled:
             return self._control_step(measurements, used_ghz)
-        with tel.span("manager.control_step", apps=len(measurements)):
+        with tel.span(
+            "manager.control_step",
+            apps=len(measurements),
+            control_mode=self.control_mode,
+        ):
             result = self._control_step(measurements, used_ghz)
         tel.count("manager.control_steps")
         if result.overloaded_servers:
@@ -170,14 +196,23 @@ class PowerManager:
                 f"no controller registered for {unregistered!r}; "
                 "control step aborted before any demand was written"
             )
-        # 1. Application level: controllers emit new per-VM demands.
-        for app_id, rt_ms in measurements.items():
-            controller = self.controllers[app_id]
-            usage = used_ghz.get(app_id) if used_ghz is not None else None
-            demands = controller.update(rt_ms, used_ghz=usage)
-            app = dc.applications[app_id]
-            for vm_id, demand in zip(app.vm_ids, demands):
-                dc.vms[vm_id].set_demand(float(demand))
+        # 1. Application level: controllers emit new per-VM demands —
+        # fleet-batched through the grouped kernels (production path)
+        # or the scalar reference loop.
+        if self.control_mode == "fleet":
+            demands_by_app = self._fleet_demands(measurements, used_ghz)
+            for app_id, demands in demands_by_app.items():
+                app = dc.applications[app_id]
+                for vm_id, demand in zip(app.vm_ids, demands):
+                    dc.vms[vm_id].set_demand(float(demand))
+        else:
+            for app_id, rt_ms in measurements.items():
+                controller = self.controllers[app_id]
+                usage = used_ghz.get(app_id) if used_ghz is not None else None
+                demands = controller.update(rt_ms, used_ghz=usage)
+                app = dc.applications[app_id]
+                for vm_id, demand in zip(app.vm_ids, demands):
+                    dc.vms[vm_id].set_demand(float(demand))
 
         # 2. Server level: arbitrate demands, choose DVFS, grant shares.
         result = ControlStepResult()
@@ -196,6 +231,8 @@ class PowerManager:
                 vm.allocation_ghz = arb.allocations_ghz[vm.vm_id]
 
         # 3. Feed granted allocations back to controllers and plants.
+        # (unchanged across modes: anti-windup and plant wiring are
+        # identical whether demands came from the fleet or the loop)
         for app_id in measurements:
             app = dc.applications[app_id]
             granted = np.asarray(
@@ -206,6 +243,44 @@ class PowerManager:
             if app.plant is not None:
                 app.plant.set_allocations(granted)
         return result
+
+    def _fleet_demands(
+        self,
+        measurements: Mapping[str, float],
+        used_ghz: Optional[Mapping[str, "np.ndarray"]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Fleet-batched phase 1 plus its grouping telemetry.
+
+        The numerics are one :meth:`FleetControlStep.run` call in both
+        branches; telemetry only observes.  Emits the
+        ``controller.batch_groups`` counter, the
+        ``controller.batch_size`` histogram (one observation per MPC
+        group), and a ``manager.fleet_control`` span annotated with the
+        per-group sizes so ``repro-obs profile`` can show how well the
+        fleet grouped.
+        """
+        tel = get_telemetry()
+        if not tel.enabled:
+            demands, self.last_fleet_stats = self._fleet.run(
+                measurements, used_ghz
+            )
+            return demands
+        with tel.span(
+            "manager.fleet_control", apps=len(measurements)
+        ) as sp:
+            demands, stats = self._fleet.run(measurements, used_ghz)
+            groups = list(stats.get("mpc_groups", []))
+            sp.annotate(
+                batch_groups=len(groups),
+                batch_group_sizes=groups,
+                rls_batched=stats.get("rls_batched", 0),
+                held=stats.get("held", 0),
+            )
+        self.last_fleet_stats = stats
+        tel.count("controller.batch_groups", len(groups))
+        for size in groups:
+            tel.observe("controller.batch_size", float(size))
+        return demands
 
     def optimize(self, time_s: float = 0.0) -> PlacementPlan:
         """One optimizer invocation: snapshot, plan, apply."""

@@ -283,9 +283,15 @@ class LargeScaleBackend:
     def emit_run_config(self) -> None:
         """The run-header log line + telemetry event (fresh starts only)."""
         tel = get_telemetry()
+        # control_mode is logged but deliberately NOT part of the
+        # run_config event: this backend's sysid/control phases are
+        # vectorized over the whole fleet in either mode (bit-identical
+        # by construction), and the event feeds golden-hash gates.
         logger.info(
-            "largescale run: scheme=%s, %d VMs on %d servers, %d steps of %.0fs",
-            self.config.scheme, self.n_vms, self.n_srv, self.n_steps, self.dt_s,
+            "largescale run: scheme=%s, %d VMs on %d servers, %d steps of "
+            "%.0fs, %s control",
+            self.config.scheme, self.n_vms, self.n_srv, self.n_steps,
+            self.dt_s, self.config.control_mode,
         )
         tel.event(
             "run_config",

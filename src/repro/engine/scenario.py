@@ -442,6 +442,11 @@ _TB_PARAMS = {
     "concurrency": 10,
     "initial_alloc_ghz": 0.6,
     "mpc_warm_start": False,
+    # The builtin testbed scenarios are the golden-hash references: they
+    # pin the scalar control path (fleet batching is allclose, not
+    # bit-identical).  Override with --control-mode fleet (repro-sim) or
+    # params={"control_mode": "fleet"} to run the production path.
+    "control_mode": "scalar",
     "seed": 77,
 }
 

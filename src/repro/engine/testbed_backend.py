@@ -115,9 +115,9 @@ class TestbedBackend:
         tel = get_telemetry()
         logger.info(
             "testbed run: %d apps on %d servers, %.0fs at %.0fs periods, "
-            "setpoint %.0f ms",
+            "setpoint %.0f ms, %s control",
             cfg.n_apps, cfg.n_servers, cfg.duration_s, cfg.control_period_s,
-            cfg.setpoint_ms,
+            cfg.setpoint_ms, cfg.control_mode,
         )
         tel.event(
             "run_config",

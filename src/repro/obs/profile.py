@@ -33,11 +33,14 @@ def profile_events(records: List[dict]) -> dict:
     """Reduce telemetry records to a per-phase kernel profile dict."""
     phases: Dict[str, dict] = {}
     per_pod: Dict[int, dict] = {}
+    fleet_spans = 0
     metrics = None
     for rec in records:
         kind = rec.get("kind")
         if kind == "span":
             name = str(rec.get("name", ""))
+            if name == "manager.fleet_control":
+                fleet_spans += 1
             if not name.startswith(_PREFIX):
                 continue
             phase = name[len(_PREFIX):]
@@ -93,10 +96,28 @@ def profile_events(records: List[dict]) -> dict:
         entry["wall_fraction"] = (
             entry["wall_s"] / total_wall if total_wall > 0.0 else 0.0
         )
+    # Fleet-control grouping efficiency: the batch metrics saw every
+    # period (counters/histograms are never sampled), so the mean group
+    # size tells how well the fleet's solves coalesced — a mean near
+    # the fleet size is one stacked solve per period; a mean near 1 is
+    # scalar work with extra bookkeeping.
+    fleet = None
+    msnap = metrics or {}
+    groups = float((msnap.get("counters") or {}).get(
+        "controller.batch_groups", 0.0
+    ))
+    size_hist = (msnap.get("histograms") or {}).get("controller.batch_size")
+    if groups or size_hist:
+        fleet = {
+            "batch_groups": groups,
+            "spans": fleet_spans,
+            "group_size": size_hist or {},
+        }
     return {
         "phases": dict(sorted(phases.items(), key=lambda kv: -kv[1]["wall_s"])),
         "total_wall_s": total_wall,
         "per_pod": dict(sorted(per_pod.items())),
+        "fleet": fleet,
         "sampled": any(
             e["exact"] and e["sampled_records"] < e["count"]
             for e in phases.values()
@@ -163,5 +184,25 @@ def render_profile(profile: dict, title: str = "kernel phase profile") -> str:
             ["pod", "spans", "share", "wall s", "cpu s"],
             pod_rows,
             title="Per-pod span cost (sharded run)",
+        )
+    fleet = profile.get("fleet")
+    if fleet:
+        size = fleet.get("group_size") or {}
+        count = float(size.get("count", 0.0))
+
+        def _f(key):
+            v = size.get(key)
+            return "-" if v is None or not math.isfinite(float(v)) else f"{float(v):.1f}"
+
+        fleet_rows = [[
+            int(fleet["batch_groups"]),
+            f"{_f('mean')}" if count else "-",
+            _f("max") if count else "-",
+            f"{size.get('sum', 0.0):.0f}" if count else "-",
+        ]]
+        out += "\n\n" + format_table(
+            ["solve groups", "mean size", "max size", "solves batched"],
+            fleet_rows,
+            title="Fleet control grouping (controller.batch_* metrics)",
         )
     return out + note

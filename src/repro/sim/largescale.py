@@ -113,9 +113,21 @@ class LargeScaleConfig:
     migration_bandwidth_mbps: float = 1000.0
     faults: Optional[FaultSchedule] = None
     attribute_power: bool = False
+    #: Control-path selector shared with the testbed/scenario schema.
+    #: The large-scale sysid (forecaster) and actuation phases are
+    #: *already* fleet-vectorized array code with no per-app MPC/RLS
+    #: instances, so both values produce bit-identical runs here; the
+    #: field is validated and surfaced (run header log) so one scenario
+    #: schema covers every harness, sharded pods included.
+    control_mode: str = "fleet"
     seed: int = 7
 
     def __post_init__(self):
+        if self.control_mode not in ("fleet", "scalar"):
+            raise ValueError(
+                f"control_mode must be 'fleet' or 'scalar', "
+                f"got {self.control_mode!r}"
+            )
         if self.n_vms < 1:
             raise ValueError(f"n_vms must be >= 1, got {self.n_vms}")
         if self.n_servers < 1:

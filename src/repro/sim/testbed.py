@@ -93,6 +93,13 @@ class TestbedConfig:
     selects the event-kernel implementation — ``"fast"`` (default,
     optimized) or ``"reference"`` (the preserved original; bit-identical,
     used for equivalence tests and benchmark baselines).
+
+    ``control_mode`` selects the application-level control path in the
+    :class:`~repro.core.manager.PowerManager`: ``"fleet"`` (default)
+    batches all apps' sysid/MPC through the grouped kernels each
+    period; ``"scalar"`` runs the historical per-app loop.  The paths
+    are allclose-equivalent, not bit-identical (stacked multi-RHS
+    LAPACK) — runs pinned to golden event-log hashes use ``"scalar"``.
     """
 
     __test__ = False
@@ -123,9 +130,15 @@ class TestbedConfig:
     plant_mode: str = "des"
     des_kernel: str = "fast"
     hybrid: Optional[HybridConfig] = None
+    control_mode: str = "fleet"
     seed: int = 2010
 
     def __post_init__(self):
+        if self.control_mode not in ("fleet", "scalar"):
+            raise ValueError(
+                f"control_mode must be 'fleet' or 'scalar', "
+                f"got {self.control_mode!r}"
+            )
         if self.plant_mode not in ("des", "hybrid"):
             raise ValueError(
                 f"plant_mode must be 'des' or 'hybrid', got {self.plant_mode!r}"
@@ -250,6 +263,7 @@ class TestbedExperiment:
         manager = PowerManager(
             dc,
             PowerManagerConfig(control_period_s=cfg.control_period_s),
+            control_mode=cfg.control_mode,
         )
         # MultiTierApp, or HybridPlant wrapping one in hybrid mode —
         # both expose the same control surface.

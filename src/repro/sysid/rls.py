@@ -12,7 +12,7 @@ the controller's model tracks the plant during operation.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -196,6 +196,7 @@ class RecursiveARXEstimator:
 def rls_update_batch(
     estimators: Sequence[RecursiveARXEstimator],
     measurements: Sequence[tuple],
+    stats: Optional[dict] = None,
 ) -> list:
     """One RLS step for many estimators as stacked array arithmetic.
 
@@ -214,6 +215,10 @@ def rls_update_batch(
     :meth:`~RecursiveARXEstimator.update` calls — checkpointed
     golden-hash runs must keep the scalar path.
 
+    ``stats``, when given a dict, receives grouping telemetry:
+    ``groups`` (live member count per shape group, descending) and
+    ``held`` (samples skipped by the non-finite hold).
+
     Returns the list of updated :class:`ARXModel` in input order.
     """
     if len(estimators) != len(measurements):
@@ -224,6 +229,9 @@ def rls_update_batch(
     groups: dict = {}
     for i, est in enumerate(estimators):
         groups.setdefault((est.na, est.nb, est.m), []).append(i)
+    if stats is not None:
+        stats["groups"] = []
+        stats["held"] = 0
 
     tel = get_telemetry()
     for (na, nb, m), members in groups.items():
@@ -240,6 +248,10 @@ def rls_update_batch(
             live.append(i)
             xs.append(x)
             ys.append(float(measured_t))
+        if stats is not None:
+            stats["held"] += len(members) - len(live)
+            if live:
+                stats["groups"].append(len(live))
         if not live:
             continue
         B = len(live)
@@ -280,4 +292,6 @@ def rls_update_batch(
             est.n_updates += 1
         if tel.enabled:
             tel.count("sysid.rls.updates", B)
+    if stats is not None:
+        stats["groups"].sort(reverse=True)
     return [est.model for est in estimators]

@@ -98,9 +98,13 @@ _TB_MODEL = ARXModel(a=[0.4], b=[[-800.0, -300.0], [-100.0, -50.0]], g=1800.0)
 
 
 def _tb_config(**overrides):
+    # control_mode="scalar": these configs reproduce goldens captured on
+    # the pre-kernel per-app loop; the fleet path is allclose, not
+    # bit-identical (see tests/test_fleet.py for its equivalence gates).
     base = dict(
         n_servers=2, n_apps=2, duration_s=180.0, warmup_s=20.0,
-        concurrency=10, initial_alloc_ghz=0.6, mpc_warm_start=False, seed=77,
+        concurrency=10, initial_alloc_ghz=0.6, mpc_warm_start=False,
+        control_mode="scalar", seed=77,
     )
     base.update(overrides)
     return TestbedConfig(**base)

@@ -1,0 +1,368 @@
+"""Fleet-batched control path: equivalence, edge paths, telemetry.
+
+The fleet path (``control_mode="fleet"``, the default) runs every app's
+sysid/MPC through the grouped batch kernels; the scalar path is the
+bit-reproducible per-app reference loop.  Batched linear algebra
+reorders floating-point sums (stacked multi-RHS LAPACK, einsums), so
+the two paths are *allclose*, not bit-identical — these tests pin the
+tolerance explicitly and assert exact parity for everything discrete
+(counters, hold decisions, validation, checkpoint determinism).
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import Application, DataCenter, Server, VM
+from repro.cluster.catalog import TESTBED_SERVER
+from repro.control.arx import ARXModel
+from repro.core import (
+    ControllerConfig,
+    PowerManager,
+    ResponseTimeController,
+)
+from repro.core.controller.adaptive import AdaptiveResponseTimeController
+from repro.core.fleet import FleetControlStep
+from repro.engine.scenario import builtin_registry
+from repro.obs import InMemoryBackend, Telemetry, use_telemetry
+
+#: Pinned fleet-vs-scalar tolerance for demand/state trajectories.
+#: Stacked multi-RHS solves differ from single-RHS at the ~1 ulp level
+#: per solve; over tens of closed (arbitrated, anti-windup) periods the
+#: drift stays far below this.  Anything above it is a real divergence.
+RTOL = 1e-9
+ATOL = 1e-9
+
+_MODEL = ARXModel(a=[0.4], b=[[-800.0, -300.0], [-100.0, -50.0]], g=1800.0)
+_MODEL_B = ARXModel(a=[0.35], b=[[-700.0, -250.0], [-120.0, -60.0]], g=1700.0)
+
+
+def _eventlog_hash(records):
+    """The golden event-log hash (same formula as the service runner)."""
+    events = [r for r in records if r.get("kind") not in ("span", "metrics")]
+    return (
+        hashlib.sha256(
+            json.dumps(events, sort_keys=True, default=str).encode()
+        ).hexdigest(),
+        len(events),
+    )
+
+
+def _fleet_dc(n_apps):
+    """n_apps two-tier apps spread over a pair of big hosts."""
+    dc = DataCenter()
+    dc.add_server(Server("T0", TESTBED_SERVER))
+    dc.add_server(Server("T1", TESTBED_SERVER))
+    for i in range(n_apps):
+        web, db = f"app{i}-web", f"app{i}-db"
+        for j, vm_id in enumerate((web, db)):
+            dc.add_vm(VM(vm_id, app_id=f"app{i}", tier_index=j,
+                         memory_mb=512, demand_ghz=0.8))
+            dc.place(vm_id, f"T{j}")
+        dc.add_application(Application(f"app{i}", [web, db]))
+    return dc
+
+
+def _controller(model=_MODEL, adaptive=False, **cfg_overrides):
+    cfg = ControllerConfig(**cfg_overrides)
+    cls = AdaptiveResponseTimeController if adaptive else ResponseTimeController
+    return cls(
+        model, cfg,
+        c_min=[0.2, 0.2], c_max=[3.0, 3.0], initial_alloc_ghz=[0.8, 0.8],
+    )
+
+
+def _build_manager(n_apps, control_mode, adaptive=False, heterogeneous=False,
+                   **cfg_overrides):
+    dc = _fleet_dc(n_apps)
+    mgr = PowerManager(dc, control_mode=control_mode)
+    for i in range(n_apps):
+        model = _MODEL_B if (heterogeneous and i % 2) else _MODEL
+        mgr.register_controller(
+            f"app{i}", _controller(model, adaptive=adaptive, **cfg_overrides)
+        )
+    return dc, mgr
+
+
+def _drive(mgr, n_apps, n_periods, seed=3, nan_for=()):
+    """Deterministic measurement/usage sequences -> granted series."""
+    rng = np.random.default_rng(seed)
+    series = []
+    for k in range(n_periods):
+        meas, used = {}, {}
+        for i in range(n_apps):
+            rt = 600.0 + 150.0 * np.sin(k / 4.0 + i) + rng.normal(0.0, 20.0)
+            if (i, k) in nan_for:
+                rt = float("nan")
+            meas[f"app{i}"] = rt
+            used[f"app{i}"] = np.abs(rng.normal(0.5, 0.1, size=2))
+        result = mgr.control_step(meas, used_ghz=used)
+        series.append(np.concatenate(
+            [result.granted_ghz[f"app{i}"] for i in range(n_apps)]
+        ))
+    return np.asarray(series)
+
+
+class TestFleetScalarEquivalence:
+    """Same inputs, both modes: demands match at the pinned tolerance."""
+
+    def test_homogeneous_fleet_matches_scalar(self):
+        out = {}
+        for mode in ("scalar", "fleet"):
+            _, mgr = _build_manager(6, mode)
+            out[mode] = _drive(mgr, 6, 25)
+        np.testing.assert_allclose(
+            out["fleet"], out["scalar"], rtol=RTOL, atol=ATOL
+        )
+
+    def test_heterogeneous_models_group_and_match(self):
+        out, mgrs = {}, {}
+        for mode in ("scalar", "fleet"):
+            _, mgr = _build_manager(6, mode, heterogeneous=True)
+            out[mode] = _drive(mgr, 6, 20)
+            mgrs[mode] = mgr
+        np.testing.assert_allclose(
+            out["fleet"], out["scalar"], rtol=RTOL, atol=ATOL
+        )
+        # Two model populations -> two MPC groups of three.
+        assert mgrs["fleet"].last_fleet_stats["mpc_groups"] == [3, 3]
+
+    def test_adaptive_fleet_batches_rls_and_matches_scalar(self):
+        out, mgrs = {}, {}
+        for mode in ("scalar", "fleet"):
+            _, mgr = _build_manager(5, mode, adaptive=True)
+            out[mode] = _drive(mgr, 5, 25)
+            mgrs[mode] = mgr
+        np.testing.assert_allclose(
+            out["fleet"], out["scalar"], rtol=RTOL, atol=ATOL
+        )
+        # Exact gate parity: the same samples were learned in both modes.
+        total = 0
+        for i in range(5):
+            a = mgrs["fleet"].controllers[f"app{i}"]
+            b = mgrs["scalar"].controllers[f"app{i}"]
+            assert a.rls_samples == b.rls_samples
+            assert a.estimator.n_updates == b.estimator.n_updates
+            # Estimator internals get a looser pin than the demands:
+            # the P-matrix recursion amplifies ulp-level reduction
+            # differences faster than the (regularized) MPC solution.
+            np.testing.assert_allclose(
+                a.estimator.theta, b.estimator.theta, rtol=1e-6, atol=1e-6
+            )
+            total += a.estimator.n_updates
+        assert total > 0, "RLS never consumed a sample in either mode"
+
+    def test_controller_state_dicts_match_across_modes(self):
+        states = {}
+        for mode in ("scalar", "fleet"):
+            _, mgr = _build_manager(4, mode)
+            _drive(mgr, 4, 15)
+            states[mode] = [
+                mgr.controllers[f"app{i}"].state_dict() for i in range(4)
+            ]
+        for sf, ss in zip(states["fleet"], states["scalar"]):
+            assert sf.keys() == ss.keys()
+            np.testing.assert_allclose(
+                sf["t_hist"], ss["t_hist"], rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                sf["c_hist"], ss["c_hist"], rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                sf["bias"], ss["bias"], rtol=RTOL, atol=ATOL
+            )
+            assert sf["consecutive_missing"] == ss["consecutive_missing"]
+            assert sf["held_updates"] == ss["held_updates"]
+
+
+class TestEdgePathsBothModes:
+    """PowerManager.control_step edge paths under fleet and scalar."""
+
+    @pytest.mark.parametrize("mode", ["fleet", "scalar"])
+    def test_unregistered_app_all_or_nothing(self, mode):
+        dc, mgr = _build_manager(2, mode)
+        before = {vm_id: vm.demand_ghz for vm_id, vm in dc.vms.items()}
+        with pytest.raises(KeyError, match="ghost"):
+            mgr.control_step({"app0": 900.0, "ghost": 500.0})
+        after = {vm_id: vm.demand_ghz for vm_id, vm in dc.vms.items()}
+        assert after == before  # nothing written before the abort
+
+    def test_nan_hold_counter_parity(self):
+        """NaN measurements under missing_policy=hold: identical hold
+        decisions, counters, and demands in both modes."""
+        nan_at = {(0, 3), (0, 4), (1, 7)}
+        out, mgrs = {}, {}
+        for mode in ("scalar", "fleet"):
+            _, mgr = _build_manager(
+                3, mode, missing_policy="hold", max_hold_periods=2
+            )
+            out[mode] = _drive(mgr, 3, 12, nan_for=nan_at)
+            mgrs[mode] = mgr
+        np.testing.assert_allclose(
+            out["fleet"], out["scalar"], rtol=RTOL, atol=ATOL
+        )
+        for i in range(3):
+            a = mgrs["fleet"].controllers[f"app{i}"]
+            b = mgrs["scalar"].controllers[f"app{i}"]
+            assert a.held_updates == b.held_updates
+            assert a._consecutive_missing == b._consecutive_missing
+        assert mgrs["fleet"].controllers["app0"].held_updates == 2
+        assert mgrs["fleet"].controllers["app1"].held_updates == 1
+
+    def test_hold_escalates_pessimistically_in_both_modes(self):
+        """Past max_hold_periods the fleet must also fall back to the
+        clamp-limit substitution, not keep holding."""
+        for mode in ("scalar", "fleet"):
+            _, mgr = _build_manager(
+                1, mode, missing_policy="hold", max_hold_periods=2
+            )
+            nan_at = {(0, k) for k in range(2, 8)}
+            _drive(mgr, 1, 8, nan_for=nan_at)
+            ctrl = mgr.controllers["app0"]
+            assert ctrl.held_updates == 2, mode
+            # Escalated periods consumed the pessimistic substitution.
+            assert ctrl._t_hist[0] == ctrl.config.measurement_limit_ms, mode
+
+    def test_used_ghz_band_guard_equivalence(self):
+        """The utilization-band bounds tighten identically in both
+        modes (used_ghz flows through prepare() untouched)."""
+        out = {}
+        for mode in ("scalar", "fleet"):
+            _, mgr = _build_manager(
+                4, mode, util_band=(0.75, 0.985), util_band_headroom_ghz=0.1
+            )
+            out[mode] = _drive(mgr, 4, 15, seed=11)
+        np.testing.assert_allclose(
+            out["fleet"], out["scalar"], rtol=RTOL, atol=ATOL
+        )
+
+    def test_invalid_control_mode_rejected(self):
+        dc = _fleet_dc(1)
+        with pytest.raises(ValueError, match="control_mode"):
+            PowerManager(dc, control_mode="batched")
+
+
+class TestFleetStepUnit:
+    def test_held_apps_skip_the_solve_batch(self):
+        ctrls = {
+            "a": _controller(missing_policy="hold"),
+            "b": _controller(missing_policy="hold"),
+        }
+        step = FleetControlStep(ctrls)
+        demands, stats = step.run({"a": float("nan"), "b": 700.0})
+        assert stats["held"] == 1 and stats["solved"] == 1
+        np.testing.assert_array_equal(demands["a"], [0.8, 0.8])
+        assert ctrls["a"].held_updates == 1
+        assert ctrls["b"].last_solution is not None
+
+    def test_registration_after_construction_is_picked_up(self):
+        dc, mgr = _build_manager(1, "fleet")
+        web, db = "app9-web", "app9-db"
+        for j, vm_id in enumerate((web, db)):
+            dc.add_vm(VM(vm_id, app_id="app9", tier_index=j,
+                         memory_mb=512, demand_ghz=0.8))
+            dc.place(vm_id, f"T{j}")
+        dc.add_application(Application("app9", [web, db]))
+        mgr.register_controller("app9", _controller())
+        result = mgr.control_step({"app0": 800.0, "app9": 900.0})
+        assert set(result.granted_ghz) == {"app0", "app9"}
+        assert mgr.last_fleet_stats["mpc_groups"] == [2]
+
+
+class TestFleetTelemetry:
+    def test_batch_metrics_and_span_fields(self):
+        backend = InMemoryBackend()
+        with use_telemetry(Telemetry(backend), close=False) as tel:
+            _, mgr = _build_manager(6, "fleet", heterogeneous=True)
+            _drive(mgr, 6, 3)
+            snap = tel.registry.snapshot()
+        # Two model groups per step, three steps.
+        assert snap["counters"]["controller.batch_groups"] == 6
+        hist = snap["histograms"]["controller.batch_size"]
+        assert hist["count"] == 6
+        assert hist["max"] == 3.0
+        spans = [r for r in backend.of_kind("span")
+                 if r["name"] == "manager.fleet_control"]
+        assert spans, "no manager.fleet_control span emitted"
+        assert spans[0]["batch_groups"] == 2
+        assert sorted(spans[0]["batch_group_sizes"], reverse=True) == [3, 3]
+        assert spans[0]["held"] == 0
+
+    def test_scalar_mode_emits_no_fleet_span(self):
+        backend = InMemoryBackend()
+        with use_telemetry(Telemetry(backend), close=False):
+            _, mgr = _build_manager(2, "scalar")
+            _drive(mgr, 2, 2)
+        names = {r["name"] for r in backend.of_kind("span")}
+        assert "manager.fleet_control" not in names
+        assert "mpc.solve" in names
+
+
+class TestBuiltinScenariosFleet:
+    """Fleet mode over the builtin scenarios: runs, faults, resume."""
+
+    def _spec(self, name, mode="fleet"):
+        spec = builtin_registry().get(name)
+        return dataclasses.replace(
+            spec, params={**spec.params, "control_mode": mode}
+        )
+
+    def _run(self, spec):
+        mem = InMemoryBackend()
+        with use_telemetry(Telemetry(mem)):
+            engine, backend = spec.build()
+            try:
+                backend.start()
+                engine.run()
+                result = backend.result()
+            finally:
+                closer = getattr(backend, "close", None)
+                if closer is not None:
+                    closer()
+        return result, _eventlog_hash(mem.records)
+
+    @pytest.mark.parametrize("name", ["testbed-small", "testbed-faulted"])
+    def test_fleet_run_is_deterministic(self, name):
+        spec = self._spec(name)
+        res_a, hash_a = self._run(spec)
+        res_b, hash_b = self._run(spec)
+        assert hash_a == hash_b
+        assert res_a.power_summary() == res_b.power_summary()
+
+    @pytest.mark.parametrize("name", ["testbed-small", "testbed-faulted"])
+    def test_fleet_checkpoint_resume_bit_identical(self, name):
+        """Replay-resume reproduces the uninterrupted fleet run exactly
+        (the fleet path is deterministic within a process)."""
+        spec = self._spec(name)
+        _, full_hash = self._run(spec)
+
+        split = InMemoryBackend()
+        engine1, plant1 = spec.build()
+        with use_telemetry(Telemetry(split)):
+            plant1.start()
+            engine1.run(until_period=5)
+            doc = json.loads(json.dumps(engine1.checkpoint()))
+        engine2, plant2 = spec.build()
+        with use_telemetry(Telemetry(split)):
+            engine2.restore(doc)
+            assert engine2.k == 5
+            engine2.run()
+            plant2.result()
+        assert _eventlog_hash(split.records) == full_hash
+
+    @pytest.mark.parametrize("name", ["largescale-small", "largescale-faulted"])
+    def test_largescale_control_mode_is_hash_identical(self, name):
+        """The large-scale backend is fleet-vectorized by construction:
+        both control modes must produce the same golden event log."""
+        res_f, hash_f = self._run(self._spec(name, "fleet"))
+        res_s, hash_s = self._run(self._spec(name, "scalar"))
+        assert hash_f == hash_s
+        assert res_f.total_energy_wh == res_s.total_energy_wh
+
+    def test_sharded_small_runs_in_fleet_mode(self):
+        result, (_, n_events) = self._run(self._spec("sharded-small"))
+        assert result.total_energy_wh > 0
+        assert n_events > 0

@@ -371,7 +371,9 @@ class TestInstrumentationIntegration:
         assert "control_period" in kinds
         assert "span" in kinds
         span_names = {r["name"] for r in backend.of_kind("span")}
-        assert "mpc.solve" in span_names
+        # The default (fleet) control path batches MPC solves under its
+        # own span; scalar mode would emit per-app "mpc.solve" instead.
+        assert "manager.fleet_control" in span_names
         assert "manager.control_step" in span_names
 
     def test_disabled_run_leaves_no_trace(self):

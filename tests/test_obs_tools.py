@@ -232,6 +232,38 @@ class TestProfile:
         text = render_profile(profile_events([]))
         assert "was telemetry enabled" in text
 
+    def test_fleet_grouping_section(self):
+        records = [
+            self._span("control", 0.02),
+            {"kind": "span", "name": "manager.fleet_control",
+             "duration_s": 0.01, "depth": 1, "batch_groups": 2,
+             "batch_group_sizes": [3, 3]},
+            {"kind": "metrics", "metrics": {
+                "counters": {"controller.batch_groups": 6.0},
+                "histograms": {"controller.batch_size": {
+                    "count": 6.0, "sum": 18.0, "mean": 3.0,
+                    "min": 3.0, "max": 3.0,
+                }},
+            }},
+        ]
+        profile = profile_events(records)
+        assert profile["fleet"] == {
+            "batch_groups": 6.0,
+            "spans": 1,
+            "group_size": {
+                "count": 6.0, "sum": 18.0, "mean": 3.0,
+                "min": 3.0, "max": 3.0,
+            },
+        }
+        text = render_profile(profile)
+        assert "Fleet control grouping" in text
+        assert "mean size" in text
+
+    def test_no_fleet_section_without_batch_metrics(self):
+        profile = profile_events([self._span("control", 0.02)])
+        assert profile["fleet"] is None
+        assert "Fleet control grouping" not in render_profile(profile)
+
     def test_jsonl_is_lenient(self, tmp_path):
         path = tmp_path / "run.jsonl"
         path.write_text(
